@@ -1,0 +1,210 @@
+// Shared helpers for the table/figure benches: backbone factories over
+// the GradGCL weight, train-and-probe pipelines, and row formatting.
+// Every bench is deterministic given its hard-coded seeds and scaled to
+// finish in seconds on one core (see DESIGN.md §2 on scaling).
+
+#ifndef GRADGCL_BENCH_BENCH_COMMON_H_
+#define GRADGCL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/molecule_universe.h"
+#include "datasets/node_synthetic.h"
+#include "datasets/tu_synthetic.h"
+#include "eval/cross_validation.h"
+#include "models/bgrl.h"
+#include "models/costa.h"
+#include "models/gca.h"
+#include "models/grace.h"
+#include "models/graphcl.h"
+#include "models/infograph.h"
+#include "models/joao.h"
+#include "models/mvgrl.h"
+#include "models/sgcl.h"
+#include "models/simgrace.h"
+
+namespace gradgcl::bench {
+
+// Graph-level backbones of Table IV.
+enum class Backbone { kInfoGraph, kGraphCl, kJoao, kSimGrace, kMvgrl };
+
+inline std::string BackboneName(Backbone b) {
+  switch (b) {
+    case Backbone::kInfoGraph:
+      return "InfoGraph";
+    case Backbone::kGraphCl:
+      return "GraphCL";
+    case Backbone::kJoao:
+      return "JOAO";
+    case Backbone::kSimGrace:
+      return "SimGRACE";
+    case Backbone::kMvgrl:
+      return "MVGRL";
+  }
+  return "?";
+}
+
+// Suffix used in the paper's tables: "", "(g)", "(f+g)".
+inline std::string VariantSuffix(double weight) {
+  if (weight == 0.0) return "";
+  if (weight == 1.0) return "(g)";
+  return "(f+g)";
+}
+
+// Standard encoder shared across benches (GIN, as in GraphCL/SimGRACE).
+inline EncoderConfig BenchEncoder(int in_dim, int dim = 32) {
+  EncoderConfig config;
+  config.kind = EncoderKind::kGin;
+  config.in_dim = in_dim;
+  config.hidden_dim = dim;
+  config.out_dim = dim;
+  config.num_layers = 2;
+  return config;
+}
+
+// Builds a graph-level backbone with GradGCL at `weight`.
+inline std::unique_ptr<GraphSslModel> MakeGraphModel(Backbone backbone,
+                                                     int in_dim,
+                                                     double weight,
+                                                     uint64_t seed,
+                                                     int dim = 32) {
+  Rng rng(seed);
+  switch (backbone) {
+    case Backbone::kGraphCl: {
+      GraphClConfig config;
+      config.encoder = BenchEncoder(in_dim, dim);
+      config.proj_dim = dim;
+      config.grad_gcl.weight = weight;
+      return std::make_unique<GraphCl>(config, rng);
+    }
+    case Backbone::kJoao: {
+      JoaoConfig config;
+      config.graphcl.encoder = BenchEncoder(in_dim, dim);
+      config.graphcl.proj_dim = dim;
+      config.graphcl.grad_gcl.weight = weight;
+      return std::make_unique<Joao>(config, rng);
+    }
+    case Backbone::kSimGrace: {
+      SimGraceConfig config;
+      config.encoder = BenchEncoder(in_dim, dim);
+      config.proj_dim = dim;
+      config.grad_gcl.weight = weight;
+      return std::make_unique<SimGrace>(config, rng);
+    }
+    case Backbone::kInfoGraph: {
+      InfoGraphConfig config;
+      config.encoder = BenchEncoder(in_dim, dim);
+      config.proj_dim = dim;
+      config.grad_gcl.weight = weight;
+      return std::make_unique<InfoGraphModel>(config, rng);
+    }
+    case Backbone::kMvgrl: {
+      MvgrlConfig config;
+      config.encoder = BenchEncoder(in_dim, dim);
+      config.proj_dim = dim;
+      config.grad_gcl.loss = LossKind::kJsd;
+      config.grad_gcl.weight = weight;
+      return std::make_unique<MvgrlGraph>(config, rng);
+    }
+  }
+  return nullptr;
+}
+
+// Labels of a graph dataset.
+inline std::vector<int> GraphLabels(const std::vector<Graph>& graphs) {
+  std::vector<int> labels;
+  labels.reserve(graphs.size());
+  for (const Graph& g : graphs) labels.push_back(g.label);
+  return labels;
+}
+
+// Unsupervised graph-classification pipeline: pre-train `runs` models
+// with different seeds, probe each with k-fold SVM, pool the per-run
+// mean accuracies (the paper's "mean ± std over 5 runs" protocol,
+// scaled down).
+inline ScoreSummary TrainAndProbeGraph(Backbone backbone,
+                                       const std::vector<Graph>& dataset,
+                                       int num_classes, double weight,
+                                       int epochs = 10, int runs = 2,
+                                       int dim = 32) {
+  std::vector<double> run_scores;
+  for (int run = 0; run < runs; ++run) {
+    std::unique_ptr<GraphSslModel> model = MakeGraphModel(
+        backbone, dataset[0].feature_dim(), weight, 100 + run, dim);
+    TrainOptions options;
+    options.epochs = epochs;
+    options.batch_size = 64;
+    options.lr = 0.01;
+    options.seed = 10 + run;
+    TrainGraphSsl(*model, dataset, options);
+    ProbeOptions probe;
+    probe.kind = ProbeKind::kLinearSvm;
+    const ScoreSummary cv = CrossValidateAccuracy(
+        model->EmbedGraphs(dataset), GraphLabels(dataset), num_classes,
+        /*folds=*/5, probe, /*seed=*/50 + run);
+    run_scores.push_back(cv.mean);
+  }
+  return Summarize(run_scores);
+}
+
+// Node-classification probe: logistic head on the train mask, accuracy
+// on the test mask.
+inline double ProbeNodeAccuracy(const Matrix& embeddings,
+                                const NodeDataset& dataset) {
+  std::vector<int> train_y, test_y;
+  for (int i : dataset.train_idx) train_y.push_back(dataset.labels[i]);
+  for (int i : dataset.test_idx) test_y.push_back(dataset.labels[i]);
+  ProbeOptions probe;
+  probe.kind = ProbeKind::kLogistic;
+  LinearProbe head =
+      LinearProbe::Fit(embeddings.Gather(dataset.train_idx), train_y,
+                       dataset.num_classes, probe);
+  return Accuracy(head.Predict(embeddings.Gather(dataset.test_idx)), test_y);
+}
+
+// Transfer probe: logistic head on half the task, ROC-AUC on the rest.
+inline double ProbeTransferAuc(const Matrix& embeddings,
+                               const std::vector<Graph>& graphs) {
+  const int n = static_cast<int>(graphs.size());
+  std::vector<int> train_idx, test_idx, train_y, test_y;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      train_idx.push_back(i);
+      train_y.push_back(graphs[i].label);
+    } else {
+      test_idx.push_back(i);
+      test_y.push_back(graphs[i].label);
+    }
+  }
+  ProbeOptions probe;
+  probe.kind = ProbeKind::kLogistic;
+  LinearProbe head =
+      LinearProbe::Fit(embeddings.Gather(train_idx), train_y, 2, probe);
+  const Matrix scores = head.Scores(embeddings.Gather(test_idx));
+  std::vector<double> pos;
+  pos.reserve(test_idx.size());
+  for (int i = 0; i < scores.rows(); ++i) {
+    pos.push_back(scores(i, 1) - scores(i, 0));
+  }
+  return RocAuc(pos, test_y);
+}
+
+// "84.13 ± 1.20"-style cell.
+inline std::string Cell(const ScoreSummary& s, double scale = 100.0) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%6.2f ±%5.2f", scale * s.mean,
+                scale * s.stddev);
+  return buf;
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace gradgcl::bench
+
+#endif  // GRADGCL_BENCH_BENCH_COMMON_H_

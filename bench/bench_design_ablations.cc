@@ -1,0 +1,99 @@
+// Design-choice ablations (not a paper table; backs the decisions
+// DESIGN.md documents):
+//  (1) Backprop-through-gradient-map vs detached gradient features —
+//      the paper trains through Eq. 6's composite; the detached knob
+//      turns the feature map into a constant.
+//  (2) GradGCL weight applied with a fixed vs random augmentation menu
+//      (GraphCL), checking the plug-in is robust to the view source.
+//  (3) Encoder depth sensitivity (1 vs 2 vs 3 GIN layers) under the
+//      combined objective.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+ScoreSummary RunGraphCl(const std::vector<Graph>& data, int num_classes,
+                        GraphClConfig config) {
+  std::vector<double> run_scores;
+  for (int run = 0; run < 3; ++run) {
+    Rng rng(500 + run);
+    GraphCl model(config, rng);
+    TrainOptions options;
+    options.epochs = 14;
+    options.batch_size = 64;
+    options.seed = 40 + run;
+    TrainGraphSsl(model, data, options);
+    ProbeOptions probe;
+    run_scores.push_back(
+        CrossValidateAccuracy(model.EmbedGraphs(data), GraphLabels(data),
+                              num_classes, 5, probe, 80 + run)
+            .mean);
+  }
+  return Summarize(run_scores);
+}
+
+}  // namespace
+
+int main() {
+  const TuProfile profile = TuProfileByName("MUTAG");
+  const std::vector<Graph> data = GenerateTuDataset(profile, 141);
+
+  std::printf("Design ablations (GraphCL backbone, MUTAG profile)\n\n");
+
+  {
+    std::printf("(1) Gradient-map backprop:\n");
+    GraphClConfig base;
+    base.encoder = BenchEncoder(profile.feature_dim, 24);
+    base.grad_gcl.weight = 0.5;
+    base.grad_gcl.detach_features = false;
+    const ScoreSummary through = RunGraphCl(data, profile.num_classes, base);
+    base.grad_gcl.detach_features = true;
+    const ScoreSummary detached = RunGraphCl(data, profile.num_classes, base);
+    std::printf("  backprop through Eq.6 composite: %s\n",
+                Cell(through).c_str());
+    std::printf("  detached gradient features:      %s\n",
+                Cell(detached).c_str());
+  }
+
+  {
+    std::printf("\n(2) View source robustness at a = 0.5:\n");
+    GraphClConfig fixed;
+    fixed.encoder = BenchEncoder(profile.feature_dim, 24);
+    fixed.grad_gcl.weight = 0.5;
+    fixed.random_augs = false;
+    fixed.aug1 = AugmentKind::kNodeDrop;
+    fixed.aug2 = AugmentKind::kEdgePerturb;
+    const ScoreSummary fixed_augs =
+        RunGraphCl(data, profile.num_classes, fixed);
+    fixed.random_augs = true;
+    const ScoreSummary random_augs =
+        RunGraphCl(data, profile.num_classes, fixed);
+    std::printf("  fixed pair (NodeDrop, EdgePerturb): %s\n",
+                Cell(fixed_augs).c_str());
+    std::printf("  random pair per batch (GraphCL):    %s\n",
+                Cell(random_augs).c_str());
+  }
+
+  {
+    std::printf("\n(3) Encoder depth at a = 0.5:\n");
+    for (int layers : {1, 2, 3}) {
+      GraphClConfig config;
+      config.encoder = BenchEncoder(profile.feature_dim, 24);
+      config.encoder.num_layers = layers;
+      config.grad_gcl.weight = 0.5;
+      const ScoreSummary s = RunGraphCl(data, profile.num_classes, config);
+      std::printf("  %d-layer GIN: %s\n", layers, Cell(s).c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\nExpected: (1) training through the composite is at least "
+              "as good as detaching it; (2) gains persist across view "
+              "sources; (3) 2 layers is the sweet spot at this scale.\n");
+  return 0;
+}

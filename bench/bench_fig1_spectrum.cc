@@ -1,0 +1,58 @@
+// Fig. 1 — dimensional collapse of plain GCL. Trains SimGRACE and
+// GraphCL on the IMDB-B profile at several embedding widths and prints
+// the sorted log10 covariance spectrum of the learned representations.
+//
+// Shape to reproduce: at every width, the spectrum's right tail falls
+// to (numerically) zero — part of the representation space collapses —
+// and the number of surviving dimensions grows far slower than the
+// width itself.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/spectrum.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+Matrix TrainedEmbeddings(Backbone backbone, const std::vector<Graph>& data,
+                         int dim) {
+  std::unique_ptr<GraphSslModel> model =
+      MakeGraphModel(backbone, data[0].feature_dim(), /*weight=*/0.0,
+                     /*seed=*/23, dim);
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 64;
+  options.lr = 0.01;
+  options.seed = 5;
+  TrainGraphSsl(*model, data, options);
+  return model->EmbedGraphs(data);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Graph> data =
+      GenerateTuDataset(TuProfileByName("IMDB-B"), 61);
+  // Paper widths are {80, 160, 320, 640}; scaled 5x down here.
+  const std::vector<int> dims = {16, 32, 64, 128};
+
+  std::printf("Fig. 1: covariance spectrum of pre-trained representations "
+              "(IMDB-B profile)\n");
+  for (Backbone backbone : {Backbone::kSimGrace, Backbone::kGraphCl}) {
+    for (int dim : dims) {
+      const Matrix emb = TrainedEmbeddings(backbone, data, dim);
+      const SpectrumReport report = AnalyzeSpectrum(emb);
+      std::printf("\n%s dim=%d  surviving=%d/%d  effective_rank=%.2f\n",
+                  BackboneName(backbone).c_str(), dim, report.surviving_dims,
+                  dim, report.effective_rank);
+      std::printf("log10 spectrum:\t%s\n", SpectrumTsv(report).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nPaper shape (Fig. 1): the right tail of each spectrum "
+              "drops to zero at every width — dimensional collapse.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 2 — t-SNE of representations vs gradient features (SimGRACE on
+// MUTAG and IMDB-B profiles). Prints the 2-D coordinates (TSV) plus
+// quantitative stand-ins for the visual claims: silhouette (class
+// separation) and similarity entropy (diversity).
+//
+// Shape to reproduce: gradients remain class-informative (silhouette
+// clearly above 0) while being more *diverse* than the representations
+// (higher pairwise-similarity entropy / spread).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/gradient_features.h"
+#include "eval/similarity.h"
+#include "eval/tsne.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+void RunDataset(const char* name) {
+  const TuProfile profile = TuProfileByName(name);
+  const std::vector<Graph> data = GenerateTuDataset(profile, 71);
+
+  SimGraceConfig config;
+  config.encoder = BenchEncoder(profile.feature_dim, 32);
+  Rng rng(3);
+  SimGrace model(config, rng);
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 64;
+  options.seed = 9;
+  TrainGraphSsl(model, data, options);
+
+  // Representations: the two projected views; gradients: Eq. 6 on them.
+  std::vector<int> all(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all[i] = static_cast<int>(i);
+  Rng view_rng(13);
+  TwoViewBatch views = model.EncodeTwoViews(data, all, view_rng);
+  const Matrix reps = views.u.value();
+  const Matrix grads =
+      InfoNceGradientFeatures(views.u.Detach(), views.u_prime.Detach(), 0.5)
+          .value();
+  const std::vector<int> labels = GraphLabels(data);
+
+  TsneOptions tsne;
+  tsne.perplexity = 15.0;
+  tsne.iterations = 250;
+  const Matrix rep_2d = Tsne(reps, tsne);
+  const Matrix grad_2d = Tsne(grads, tsne);
+
+  const SimilarityReport rep_sim = AnalyzeSimilarity(reps, labels);
+  const SimilarityReport grad_sim = AnalyzeSimilarity(grads, labels);
+
+  std::printf("\n=== %s ===\n", name);
+  std::printf("representations: silhouette=%.3f  sim_entropy=%.3f  "
+              "sim_stddev=%.3f\n",
+              SilhouetteScore(rep_2d, labels), rep_sim.similarity_entropy,
+              rep_sim.similarity_stddev);
+  std::printf("gradients:       silhouette=%.3f  sim_entropy=%.3f  "
+              "sim_stddev=%.3f\n",
+              SilhouetteScore(grad_2d, labels), grad_sim.similarity_entropy,
+              grad_sim.similarity_stddev);
+  std::printf("first 5 t-SNE coords (label, rep_x, rep_y, grad_x, grad_y):\n");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  %d\t%+.3f\t%+.3f\t%+.3f\t%+.3f\n", labels[i], rep_2d(i, 0),
+                rep_2d(i, 1), grad_2d(i, 0), grad_2d(i, 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 2: t-SNE of representation vs gradient distributions "
+              "(SimGRACE backbone)\n");
+  RunDataset("MUTAG");
+  RunDataset("IMDB-B");
+  std::printf("\nPaper shape (Fig. 2): gradient features form a more "
+              "diverse distribution (higher entropy/spread) while still "
+              "carrying class structure.\n");
+  return 0;
+}

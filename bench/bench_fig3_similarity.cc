@@ -1,0 +1,78 @@
+// Fig. 3 — instance-wise similarity of representations vs gradients
+// (pre-trained SimGRACE, MUTAG and IMDB-B profiles). Prints the
+// intra/inter-class block statistics and coarse ASCII heatmaps of the
+// class-sorted cosine-similarity matrices.
+//
+// Shape to reproduce: representation similarities form hard blocks
+// (high intra-class mean, strong block contrast), while gradient
+// similarities are markedly more diverse (higher entropy/stddev,
+// weaker blocks) — the "soft separation" signal.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/gradient_features.h"
+#include "eval/similarity.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+void RunDataset(const char* name) {
+  const TuProfile profile = TuProfileByName(name);
+  const std::vector<Graph> data = GenerateTuDataset(profile, 81);
+
+  SimGraceConfig config;
+  config.encoder = BenchEncoder(profile.feature_dim, 32);
+  Rng rng(5);
+  SimGrace model(config, rng);
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 64;
+  options.seed = 11;
+  TrainGraphSsl(model, data, options);
+
+  std::vector<int> all(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all[i] = static_cast<int>(i);
+  Rng view_rng(7);
+  TwoViewBatch views = model.EncodeTwoViews(data, all, view_rng);
+  const Matrix reps = views.u.value();
+  const Matrix grads =
+      InfoNceGradientFeatures(views.u.Detach(), views.u_prime.Detach(), 0.5)
+          .value();
+  const std::vector<int> labels = GraphLabels(data);
+
+  const SimilarityReport rep = AnalyzeSimilarity(reps, labels);
+  const SimilarityReport grad = AnalyzeSimilarity(grads, labels);
+
+  std::printf("\n=== %s ===\n", name);
+  std::printf("%-16s %10s %10s %10s %10s %10s\n", "features", "intra",
+              "inter", "contrast", "stddev", "entropy");
+  std::printf("%-16s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+              "representations", rep.intra_class_mean, rep.inter_class_mean,
+              rep.block_contrast, rep.similarity_stddev,
+              rep.similarity_entropy);
+  std::printf("%-16s %10.3f %10.3f %10.3f %10.3f %10.3f\n", "gradients",
+              grad.intra_class_mean, grad.inter_class_mean,
+              grad.block_contrast, grad.similarity_stddev,
+              grad.similarity_entropy);
+
+  std::printf("\nrepresentation similarity heatmap (class-sorted):\n%s",
+              AsciiSimilarityHeatmap(reps, labels, 20).c_str());
+  std::printf("\ngradient similarity heatmap (class-sorted):\n%s",
+              AsciiSimilarityHeatmap(grads, labels, 20).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 3: instance-wise representation vs gradient "
+              "similarity (SimGRACE backbone)\n");
+  RunDataset("MUTAG");
+  RunDataset("IMDB-B");
+  std::printf("\nPaper shape (Fig. 3): representations -> two hard "
+              "diagonal blocks; gradients -> visibly more diverse "
+              "similarity structure.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 5 — gradient contrast alleviates dimensional collapse. Trains
+// SimGRACE on the IMDB-B profile at gradient weights a ∈ {0, 0.5, 1}
+// and prints each run's covariance spectrum and rank diagnostics.
+//
+// Shape to reproduce: larger a postpones the singular-value drop —
+// more surviving dimensions / higher effective rank than the a = 0
+// baseline.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/spectrum.h"
+
+int main() {
+  using namespace gradgcl;
+  using namespace gradgcl::bench;
+
+  const std::vector<Graph> data =
+      GenerateTuDataset(TuProfileByName("IMDB-B"), 91);
+  const int dim = 48;
+
+  std::printf("Fig. 5: covariance spectrum vs gradient weight "
+              "(SimGRACE, IMDB-B profile, dim=%d, mean of 2 runs)\n", dim);
+  std::vector<double> ranks;
+  for (double weight : {0.0, 0.5, 1.0}) {
+    // Collapse develops over training, so this bench trains longer
+    // than the accuracy benches (25 epochs) and averages two
+    // initialisation seeds (single-run spectra are noisy).
+    double rank_sum = 0.0;
+    double surviving_sum = 0.0;
+    SpectrumReport first_report;
+    for (int run = 0; run < 2; ++run) {
+      std::unique_ptr<GraphSslModel> model = MakeGraphModel(
+          Backbone::kSimGrace, data[0].feature_dim(), weight, 33 + run, dim);
+      TrainOptions options;
+      options.epochs = 25;
+      options.batch_size = 64;
+      options.seed = 3 + run;
+      TrainGraphSsl(*model, data, options);
+      const SpectrumReport report =
+          AnalyzeSpectrum(model->EmbedGraphs(data));
+      rank_sum += report.effective_rank / 2.0;
+      surviving_sum += report.surviving_dims / 2.0;
+      if (run == 0) first_report = report;
+    }
+    ranks.push_back(rank_sum);
+    std::printf("\nweight a=%.1f  surviving=%.1f/%d  effective_rank=%.2f\n",
+                weight, surviving_sum, dim, rank_sum);
+    std::printf("log10 spectrum (run 0):\t%s\n",
+                SpectrumTsv(first_report).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\nSummary: effective rank %.2f (a=0) -> %.2f (a=0.5) -> "
+              "%.2f (a=1).\nPaper shape (Fig. 5): the gradients postpone "
+              "the singular-value drop; a > 0 keeps more of the space "
+              "alive.\n",
+              ranks[0], ranks[1], ranks[2]);
+  return 0;
+}

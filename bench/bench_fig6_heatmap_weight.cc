@@ -1,0 +1,75 @@
+// Fig. 6 — instance-wise similarity vs gradient weight. Trains
+// SimGRACE at a ∈ {0, 0.5, 1} on the MUTAG profile and prints the
+// similarity block statistics and ASCII heatmaps of the learned
+// representations.
+//
+// Similarities are computed on *mean-centred* embeddings (i.e. as
+// correlations): gradient-trained encoders develop a large shared mean
+// direction which saturates raw cosine similarity while the centred
+// structure — the quantity the covariance spectrum of Fig. 5 also
+// measures — is what diversifies. See EXPERIMENTS.md.
+//
+// Shape to reproduce: at a = 0 the heatmap shows hard diagonal class
+// blocks (exaggerated intra-class similarity); increasing a spreads
+// the similarity mass — lower block contrast, higher entropy — while
+// classes remain distinguishable.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/similarity.h"
+#include "tensor/ops.h"
+
+namespace {
+
+gradgcl::Matrix Centered(const gradgcl::Matrix& x) {
+  gradgcl::Matrix out = x;
+  const gradgcl::Matrix mean = gradgcl::ColMean(x);
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) out(i, j) -= mean(0, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gradgcl;
+  using namespace gradgcl::bench;
+
+  const std::vector<Graph> data =
+      GenerateTuDataset(TuProfileByName("MUTAG"), 95);
+  const std::vector<int> labels = GraphLabels(data);
+
+  std::printf("Fig. 6: centred representation similarity vs gradient "
+              "weight (SimGRACE, MUTAG profile)\n");
+  std::vector<double> contrasts, entropies;
+  for (double weight : {0.0, 0.5, 1.0}) {
+    std::unique_ptr<GraphSslModel> model = MakeGraphModel(
+        Backbone::kSimGrace, data[0].feature_dim(), weight, 37, 32);
+    TrainOptions options;
+    options.epochs = 12;
+    options.batch_size = 64;
+    options.seed = 5;
+    TrainGraphSsl(*model, data, options);
+
+    const Matrix emb = Centered(model->EmbedGraphs(data));
+    const SimilarityReport report = AnalyzeSimilarity(emb, labels);
+    contrasts.push_back(report.block_contrast);
+    entropies.push_back(report.similarity_entropy);
+    std::printf("\nweight a=%.1f  intra=%.3f inter=%.3f contrast=%.3f "
+                "stddev=%.3f entropy=%.3f\n",
+                weight, report.intra_class_mean, report.inter_class_mean,
+                report.block_contrast, report.similarity_stddev,
+                report.similarity_entropy);
+    std::printf("%s", AsciiSimilarityHeatmap(emb, labels, 20).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\nSummary: block contrast %.3f (a=0) -> %.3f (a=0.5) -> "
+              "%.3f (a=1); entropy %.3f -> %.3f -> %.3f.\nPaper shape "
+              "(Fig. 6): the exaggerated intra-class block softens and "
+              "similarity spreads as the weight grows.\n",
+              contrasts[0], contrasts[1], contrasts[2], entropies[0],
+              entropies[1], entropies[2]);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 7 — representation quality during training. Trains SimGRACE
+// (a = 0) and SimGRACE(g) (a = 1) on the MUTAG profile and records the
+// alignment/uniformity trajectory (Eqs. 24–25), the loss curve, and
+// the probe accuracy every few epochs.
+//
+// Shape to reproduce: the (g) model reaches a better
+// alignment/uniformity trade-off (both lower) and higher probe
+// accuracy over training.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "losses/metrics.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+void RunVariant(double weight, const std::vector<Graph>& data,
+                const std::vector<int>& labels) {
+  SimGraceConfig config;
+  config.encoder = BenchEncoder(data[0].feature_dim(), 32);
+  config.grad_gcl.weight = weight;
+  Rng rng(41);
+  SimGrace model(config, rng);
+
+  std::vector<int> all(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all[i] = static_cast<int>(i);
+
+  std::printf("\nSimGRACE%s trajectory (every 4 epochs):\n",
+              VariantSuffix(weight).c_str());
+  std::printf("%6s %10s %10s %10s %10s\n", "epoch", "loss", "align",
+              "uniform", "probe_acc");
+
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 64;
+  options.lr = 0.01;
+  for (int block = 0; block < 5; ++block) {
+    options.seed = 100 + block;  // fresh shuffling each block
+    const std::vector<EpochStats> history =
+        TrainGraphSsl(model, data, options);
+
+    // Metrics on the raw encoder outputs — the representations a
+    // downstream probe actually consumes (as in Wang & Isola).
+    Rng view_rng(17);
+    TwoViewBatch views =
+        model.EncodeTwoViews(data, all, view_rng, /*project=*/false);
+    const double align =
+        AlignmentMetric(views.u.value(), views.u_prime.value());
+    const double uniform = UniformityMetric(views.u.value());
+
+    ProbeOptions probe;
+    const ScoreSummary acc = CrossValidateAccuracy(
+        model.EmbedGraphs(data), labels, 2, 5, probe, 29);
+    std::printf("%6d %10.4f %10.4f %10.4f %10.3f\n", (block + 1) * 4,
+                history.back().loss, align, uniform, acc.mean);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Graph> data =
+      GenerateTuDataset(gradgcl::TuProfileByName("MUTAG"), 99);
+  const std::vector<int> labels = GraphLabels(data);
+
+  std::printf("Fig. 7: alignment-uniformity trajectory and accuracy "
+              "(MUTAG profile)\n");
+  RunVariant(0.0, data, labels);
+  RunVariant(1.0, data, labels);
+  std::printf("\nPaper shape (Fig. 7): the gradient-trained model lands "
+              "at a better alignment/uniformity point and higher "
+              "accuracy.\n");
+  return 0;
+}

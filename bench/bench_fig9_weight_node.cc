@@ -1,0 +1,83 @@
+// Fig. 9 — node-classification accuracy vs gradient weight a, for
+// GRACE on the CiteSeer profile and MVGRL on the Cora profile.
+//
+// Shape to reproduce: the curve rises for small/medium a then drops at
+// large a, with gains smaller than in graph classification (node-level
+// gradients aggregate no neighbourhood information).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace gradgcl;
+using namespace gradgcl::bench;
+
+EncoderConfig NodeEncoder(int in_dim) {
+  EncoderConfig config;
+  config.kind = EncoderKind::kGcn;
+  config.in_dim = in_dim;
+  config.hidden_dim = 32;
+  config.out_dim = 32;
+  return config;
+}
+
+double RunGrace(const NodeDataset& data, double weight) {
+  Rng rng(47);
+  GraceConfig config;
+  config.encoder = NodeEncoder(data.graph.feature_dim());
+  config.grad_gcl.weight = weight;
+  Grace model(config, rng);
+  TrainOptions options;
+  options.epochs = 30;
+  options.seed = 9;
+  TrainNodeSsl(model, data, options);
+  return ProbeNodeAccuracy(model.EmbedNodes(data), data);
+}
+
+double RunMvgrl(const NodeDataset& data, double weight) {
+  Rng rng(53);
+  MvgrlConfig config;
+  config.encoder = NodeEncoder(data.graph.feature_dim());
+  config.grad_gcl.loss = LossKind::kJsd;
+  config.grad_gcl.weight = weight;
+  MvgrlNode model(config, rng);
+  TrainOptions options;
+  options.epochs = 30;
+  options.seed = 9;
+  TrainNodeSsl(model, data, options);
+  return ProbeNodeAccuracy(model.EmbedNodes(data), data);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> weights = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::printf("Fig. 9: accuracy %% vs gradient weight a "
+              "(node classification)\n\n");
+
+  const NodeDataset citeseer =
+      GenerateNodeDataset(NodeProfileByName("CiteSeer"), 107);
+  std::printf("GRACE / CiteSeer:\n  a      ");
+  for (double w : weights) std::printf("%8.1f", w);
+  std::printf("\n  acc%%   ");
+  for (double w : weights) {
+    std::printf("%8.2f", 100.0 * RunGrace(citeseer, w));
+    std::fflush(stdout);
+  }
+  std::printf("\n\n");
+
+  const NodeDataset cora = GenerateNodeDataset(NodeProfileByName("Cora"), 109);
+  std::printf("MVGRL / Cora:\n  a      ");
+  for (double w : weights) std::printf("%8.1f", w);
+  std::printf("\n  acc%%   ");
+  for (double w : weights) {
+    std::printf("%8.2f", 100.0 * RunMvgrl(cora, w));
+    std::fflush(stdout);
+  }
+  std::printf("\n\nPaper shape (Fig. 9): the curve first rises then drops "
+              "at large weights; improvements are smaller than in Fig. 8.\n");
+  return 0;
+}

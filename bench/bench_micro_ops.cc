@@ -1,0 +1,107 @@
+// Op-level microbenchmarks (not a paper table; supports the Table VIII
+// overhead analysis): raw kernels, the InfoNCE loss, and the gradient-
+// feature op, forward and forward+backward.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/gradient_features.h"
+#include "losses/contrastive.h"
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace gradgcl;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, rng);
+  const Matrix b = Matrix::RandomNormal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_RowSoftmax(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Matrix a = Matrix::RandomNormal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowSoftmax(a));
+  }
+}
+BENCHMARK(BM_RowSoftmax)->Arg(64)->Arg(256);
+
+void BM_CovarianceSpectrum(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Matrix x = Matrix::RandomNormal(4 * d, d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CovarianceSpectrum(x));
+  }
+}
+BENCHMARK(BM_CovarianceSpectrum)->Arg(16)->Arg(48);
+
+void BM_InfoNceForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Variable u(Matrix::RandomNormal(n, 32, rng));
+  Variable v(Matrix::RandomNormal(n, 32, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InfoNce(u, v, 0.5).scalar());
+  }
+}
+BENCHMARK(BM_InfoNceForward)->Arg(64)->Arg(256);
+
+void BM_InfoNceBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Variable u(Matrix::RandomNormal(n, 32, rng), true);
+  Variable v(Matrix::RandomNormal(n, 32, rng), true);
+  for (auto _ : state) {
+    u.ZeroGrad();
+    v.ZeroGrad();
+    Variable loss = InfoNce(u, v, 0.5);
+    Backward(loss);
+    benchmark::DoNotOptimize(u.grad());
+  }
+}
+BENCHMARK(BM_InfoNceBackward)->Arg(64)->Arg(256);
+
+void BM_GradientFeaturesForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Variable u(Matrix::RandomNormal(n, 32, rng));
+  Variable v(Matrix::RandomNormal(n, 32, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InfoNceGradientFeatures(u, v, 0.5).value().FrobeniusNorm());
+  }
+}
+BENCHMARK(BM_GradientFeaturesForward)->Arg(64)->Arg(256);
+
+void BM_GradGclCombinedBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Variable u(Matrix::RandomNormal(n, 32, rng), true);
+  Variable v(Matrix::RandomNormal(n, 32, rng), true);
+  for (auto _ : state) {
+    u.ZeroGrad();
+    v.ZeroGrad();
+    Variable lf = InfoNce(u, v, 0.5);
+    Variable g = InfoNceGradientFeatures(u, v, 0.5);
+    Variable g2 = InfoNceGradientFeatures(v, u, 0.5);
+    Variable lg = InfoNce(g, g2, 0.5);
+    Backward(ag::Add(ag::ScalarMul(lf, 0.5), ag::ScalarMul(lg, 0.5)));
+    benchmark::DoNotOptimize(u.grad());
+  }
+}
+BENCHMARK(BM_GradGclCombinedBackward)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table I — dataset statistics for unsupervised graph classification.
+// Regenerates the statistics of the ten synthetic TU-style profiles
+// (paper counts are scaled down ~10–400x; class counts match exactly).
+
+#include <cstdio>
+
+#include "datasets/tu_synthetic.h"
+#include "graph/stats.h"
+
+int main() {
+  using namespace gradgcl;
+  std::printf("Table I: dataset statistics, unsupervised graph "
+              "classification (synthetic profiles)\n");
+  std::printf("%-14s %-16s %8s %8s %10s %10s %8s\n", "Dataset", "Category",
+              "Graphs", "Classes", "Avg.Node", "Avg.Edges", "FeatDim");
+  for (const TuProfile& profile : PaperTuProfiles()) {
+    const std::vector<Graph> graphs = GenerateTuDataset(profile, /*seed=*/1);
+    const DatasetStats stats = ComputeStats(graphs);
+    std::printf("%s\n",
+                FormatStatsRow(profile.name, profile.category, stats).c_str());
+  }
+  std::printf("\nPaper reference (Table I): 188–144,033 graphs; class "
+              "counts {2,2,2,2,2,2,2,5,11,2} — class counts match, sizes "
+              "are scaled to laptop scale.\n");
+  return 0;
+}

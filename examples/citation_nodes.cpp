@@ -1,0 +1,55 @@
+// Node-classification example: GRACE with the GradGCL plug-in on a
+// Cora-style citation graph, evaluated with the standard linear-probe
+// protocol (the paper's Table VII setting at example scale).
+
+#include <cstdio>
+
+#include "datasets/node_synthetic.h"
+#include "eval/probes.h"
+#include "models/grace.h"
+
+int main() {
+  using namespace gradgcl;
+
+  // 1. Cora-like SBM graph with class-correlated features.
+  const NodeProfile profile = NodeProfileByName("Cora");
+  const NodeDataset dataset = GenerateNodeDataset(profile, /*seed=*/17);
+  std::printf("dataset: %s — %d nodes, %d classes, %d edges\n",
+              dataset.name.c_str(), dataset.graph.num_nodes,
+              dataset.num_classes, dataset.graph.num_edges());
+
+  // 2. GRACE(f+g): GCN encoder, two augmented graph views, node-level
+  //    InfoNCE + gradient contrast.
+  GraceConfig config;
+  config.encoder.kind = EncoderKind::kGcn;
+  config.encoder.in_dim = profile.feature_dim;
+  config.grad_gcl.weight = 0.3;
+
+  Rng rng(23);
+  Grace model(config, rng);
+
+  TrainOptions options;
+  options.epochs = 40;
+  options.lr = 0.01;
+  TrainNodeSsl(model, dataset, options, [](const EpochStats& stats) {
+    if (stats.epoch % 10 == 0) {
+      std::printf("  epoch %2d  loss %.4f\n", stats.epoch, stats.loss);
+    }
+  });
+
+  // 3. Linear probe on the canonical train mask, accuracy on test.
+  const Matrix embeddings = model.EmbedNodes(dataset);
+  std::vector<int> train_y, test_y;
+  for (int i : dataset.train_idx) train_y.push_back(dataset.labels[i]);
+  for (int i : dataset.test_idx) test_y.push_back(dataset.labels[i]);
+
+  ProbeOptions probe;
+  probe.kind = ProbeKind::kLogistic;
+  LinearProbe head =
+      LinearProbe::Fit(embeddings.Gather(dataset.train_idx), train_y,
+                       dataset.num_classes, probe);
+  const double acc =
+      Accuracy(head.Predict(embeddings.Gather(dataset.test_idx)), test_y);
+  std::printf("test accuracy: %.2f%%\n", 100.0 * acc);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Dimensional-collapse study: train SimGRACE on IMDB-B-style data at
+// gradient weights a ∈ {0, 0.5, 1} and watch the covariance spectrum
+// and effective rank respond — the phenomenon of the paper's Figs. 1
+// and 5 as a runnable example.
+
+#include <cstdio>
+
+#include "datasets/tu_synthetic.h"
+#include "eval/spectrum.h"
+#include "models/simgrace.h"
+
+int main() {
+  using namespace gradgcl;
+
+  const TuProfile profile = TuProfileByName("IMDB-B");
+  const std::vector<Graph> graphs = GenerateTuDataset(profile, /*seed=*/9);
+  std::printf("dataset: %s — %zu graphs\n\n", profile.name.c_str(),
+              graphs.size());
+
+  for (double weight : {0.0, 0.5, 1.0}) {
+    SimGraceConfig config;
+    config.encoder.in_dim = profile.feature_dim;
+    config.encoder.out_dim = 48;  // wide enough for collapse to show
+    config.grad_gcl.weight = weight;
+
+    Rng rng(31);
+    SimGrace model(config, rng);
+
+    TrainOptions options;
+    options.epochs = 12;
+    options.batch_size = 64;
+    options.lr = 0.01;
+    TrainGraphSsl(model, graphs, options);
+
+    const SpectrumReport report = AnalyzeSpectrum(model.EmbedGraphs(graphs));
+    std::printf("gradient weight a = %.1f\n", weight);
+    std::printf("  effective rank: %.2f of %zu dims\n", report.effective_rank,
+                report.singular_values.size());
+    std::printf("  surviving dims (sigma >= 1e-6 * max): %d\n",
+                report.surviving_dims);
+    std::printf("  top-8 log10 spectrum:");
+    for (size_t i = 0; i < 8 && i < report.log10_values.size(); ++i) {
+      std::printf(" %.2f", report.log10_values[i]);
+    }
+    std::printf("\n\n");
+  }
+  std::printf(
+      "Expectation (paper Fig. 5): larger a postpones the singular-value "
+      "drop — higher effective rank, fewer collapsed dimensions.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Transfer learning example: pre-train a SimGRACE encoder on the
+// unlabeled ZINC-like molecule universe, then evaluate the frozen
+// embeddings on a downstream property-prediction task with ROC-AUC —
+// the workflow of the paper's Table VI at example scale.
+
+#include <cstdio>
+
+#include "datasets/molecule_universe.h"
+#include "eval/probes.h"
+#include "models/simgrace.h"
+
+int main() {
+  using namespace gradgcl;
+
+  // 1. Unlabeled pre-training corpus (ZINC-like molecules).
+  const std::vector<Graph> pretrain =
+      GeneratePretrainSet(PretrainKind::kZinc, /*num_graphs=*/300, /*seed=*/11);
+  std::printf("pretrain corpus: %zu molecule-like graphs\n", pretrain.size());
+
+  // 2. SimGRACE(f+g): encoder-perturbation views + gradient contrast.
+  SimGraceConfig config;
+  config.encoder.in_dim = kNumAtomTypes;
+  config.grad_gcl.weight = 0.4;
+
+  Rng rng(3);
+  SimGrace model(config, rng);
+
+  TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 64;
+  options.lr = 0.01;
+  TrainGraphSsl(model, pretrain, options, [](const EpochStats& stats) {
+    std::printf("  pretrain epoch %2d  loss %.4f\n", stats.epoch, stats.loss);
+  });
+
+  // 3. Downstream fine-tuning task: BBBP-like binary property.
+  const TransferTask task =
+      GenerateTransferTask("BBBP", /*num_graphs=*/200, /*seed=*/21);
+  const Matrix embeddings = model.EmbedGraphs(task.graphs);
+
+  // Train/test split + logistic probe (the "fine-tune" head).
+  const int n = static_cast<int>(task.graphs.size());
+  const int n_train = n / 2;
+  std::vector<int> train_idx, test_idx;
+  for (int i = 0; i < n; ++i) {
+    (i < n_train ? train_idx : test_idx).push_back(i);
+  }
+  std::vector<int> train_y, test_y;
+  for (int i : train_idx) train_y.push_back(task.graphs[i].label);
+  for (int i : test_idx) test_y.push_back(task.graphs[i].label);
+
+  ProbeOptions probe;
+  probe.kind = ProbeKind::kLogistic;
+  LinearProbe head = LinearProbe::Fit(embeddings.Gather(train_idx), train_y,
+                                      /*num_classes=*/2, probe);
+
+  const Matrix scores = head.Scores(embeddings.Gather(test_idx));
+  std::vector<double> pos_scores;
+  for (int i = 0; i < scores.rows(); ++i) {
+    pos_scores.push_back(scores(i, 1) - scores(i, 0));
+  }
+  std::printf("downstream %s ROC-AUC: %.3f\n", task.name.c_str(),
+              RocAuc(pos_scores, test_y));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: train GraphCL with the GradGCL plug-in on a synthetic
+// MUTAG-style dataset and evaluate the frozen embeddings with a
+// 10-fold SVM probe — the library's end-to-end "hello world".
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "datasets/tu_synthetic.h"
+#include "eval/cross_validation.h"
+#include "models/graphcl.h"
+
+int main() {
+  using namespace gradgcl;
+
+  // 1. Data: the MUTAG profile (188 graphs, 2 classes, ~18 nodes).
+  const TuProfile profile = TuProfileByName("MUTAG");
+  const std::vector<Graph> graphs = GenerateTuDataset(profile, /*seed=*/42);
+  std::printf("dataset: %s — %zu graphs, %d classes\n", profile.name.c_str(),
+              graphs.size(), profile.num_classes);
+
+  // 2. Model: GraphCL backbone + GradGCL at weight a = 0.5 (the
+  //    paper's "GraphCL(f+g)").
+  GraphClConfig config;
+  config.encoder.in_dim = profile.feature_dim;
+  config.encoder.hidden_dim = 32;
+  config.encoder.out_dim = 32;
+  config.grad_gcl.weight = 0.5;
+  config.grad_gcl.tau = 0.5;
+
+  Rng rng(7);
+  GraphCl model(config, rng);
+  std::printf("model: GraphCL(f+g), %d parameters\n",
+              model.NumScalarParameters());
+
+  // 3. Self-supervised pre-training.
+  TrainOptions options;
+  options.epochs = 15;
+  options.batch_size = 64;
+  options.lr = 0.01;
+  options.seed = 1;
+  TrainGraphSsl(model, graphs, options, [](const EpochStats& stats) {
+    std::printf("  epoch %2d  loss %.4f  (%.2fs)\n", stats.epoch, stats.loss,
+                stats.seconds);
+  });
+
+  // 4. Downstream evaluation: frozen embeddings + 10-fold SVM.
+  const Matrix embeddings = model.EmbedGraphs(graphs);
+  std::vector<int> labels;
+  labels.reserve(graphs.size());
+  for (const Graph& g : graphs) labels.push_back(g.label);
+
+  ProbeOptions probe;
+  probe.kind = ProbeKind::kLinearSvm;
+  const ScoreSummary result = CrossValidateAccuracy(
+      embeddings, labels, profile.num_classes, /*folds=*/10, probe,
+      /*seed=*/5);
+  std::printf("10-fold SVM accuracy: %.2f%% ± %.2f\n", 100.0 * result.mean,
+              100.0 * result.stddev);
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "augment/augment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace gradgcl {
+
+std::vector<AugmentKind> AllAugmentKinds() {
+  return {AugmentKind::kNodeDrop, AugmentKind::kEdgePerturb,
+          AugmentKind::kAttrMask, AugmentKind::kSubgraph};
+}
+
+std::string AugmentKindName(AugmentKind kind) {
+  switch (kind) {
+    case AugmentKind::kIdentity:
+      return "Identity";
+    case AugmentKind::kNodeDrop:
+      return "NodeDrop";
+    case AugmentKind::kEdgePerturb:
+      return "EdgePerturb";
+    case AugmentKind::kAttrMask:
+      return "AttrMask";
+    case AugmentKind::kSubgraph:
+      return "Subgraph";
+  }
+  GRADGCL_CHECK_MSG(false, "unknown AugmentKind");
+  return "";
+}
+
+Graph Augment(const Graph& g, AugmentKind kind, double strength, Rng& rng) {
+  GRADGCL_CHECK(strength >= 0.0 && strength < 1.0);
+  switch (kind) {
+    case AugmentKind::kIdentity:
+      return g;
+    case AugmentKind::kNodeDrop:
+      return NodeDrop(g, strength, rng);
+    case AugmentKind::kEdgePerturb:
+      return EdgePerturb(g, strength, rng);
+    case AugmentKind::kAttrMask:
+      return AttrMask(g, strength, rng);
+    case AugmentKind::kSubgraph:
+      return SubgraphSample(g, strength, rng);
+  }
+  GRADGCL_CHECK_MSG(false, "unknown AugmentKind");
+  return g;
+}
+
+Graph NodeDrop(const Graph& g, double strength, Rng& rng) {
+  GRADGCL_CHECK(g.num_nodes > 0);
+  std::vector<int> keep;
+  keep.reserve(g.num_nodes);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    if (!rng.Bernoulli(strength)) keep.push_back(i);
+  }
+  if (keep.empty()) keep.push_back(rng.UniformInt(g.num_nodes));
+  return InducedSubgraph(g, keep);
+}
+
+Graph EdgePerturb(const Graph& g, double strength, Rng& rng) {
+  Graph out = g;
+  out.edges.clear();
+  std::set<std::pair<int, int>> present;
+  int removed = 0;
+  for (auto [u, v] : g.edges) {
+    if (rng.Bernoulli(strength)) {
+      ++removed;
+      continue;
+    }
+    if (u > v) std::swap(u, v);
+    if (present.insert({u, v}).second) out.edges.emplace_back(u, v);
+  }
+  // Add the same expected number of fresh random edges.
+  if (g.num_nodes >= 2) {
+    for (int k = 0; k < removed; ++k) {
+      int u = rng.UniformInt(g.num_nodes);
+      int v = rng.UniformInt(g.num_nodes);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (present.insert({u, v}).second) out.edges.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Graph EdgeDrop(const Graph& g, double strength, Rng& rng) {
+  Graph out = g;
+  out.edges.clear();
+  for (const auto& e : g.edges) {
+    if (!rng.Bernoulli(strength)) out.edges.push_back(e);
+  }
+  return out;
+}
+
+Graph AttrMask(const Graph& g, double strength, Rng& rng) {
+  Graph out = g;
+  for (int j = 0; j < out.features.cols(); ++j) {
+    if (rng.Bernoulli(strength)) {
+      for (int i = 0; i < out.features.rows(); ++i) out.features(i, j) = 0.0;
+    }
+  }
+  return out;
+}
+
+Graph SubgraphSample(const Graph& g, double strength, Rng& rng) {
+  GRADGCL_CHECK(g.num_nodes > 0);
+  const int target =
+      std::max(1, static_cast<int>(g.num_nodes * (1.0 - strength)));
+  CsrAdjacency csr = BuildCsr(g);
+  std::vector<bool> in_set(g.num_nodes, false);
+  std::vector<int> keep;
+  int current = rng.UniformInt(g.num_nodes);
+  in_set[current] = true;
+  keep.push_back(current);
+  // Random walk with restart-on-dead-end until the target size.
+  int guard = 0;
+  const int max_steps = 50 * g.num_nodes;
+  while (static_cast<int>(keep.size()) < target && guard++ < max_steps) {
+    const int deg = csr.offsets[current + 1] - csr.offsets[current];
+    if (deg == 0) {
+      current = rng.UniformInt(g.num_nodes);
+    } else {
+      current = csr.neighbors[csr.offsets[current] + rng.UniformInt(deg)];
+    }
+    if (!in_set[current]) {
+      in_set[current] = true;
+      keep.push_back(current);
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return InducedSubgraph(g, keep);
+}
+
+Graph AdaptiveEdgeDrop(const Graph& g, double strength, Rng& rng) {
+  if (g.edges.empty()) return g;
+  std::vector<int> deg = Degrees(g);
+  // Edge importance = log(1 + min endpoint degree); drop probability is
+  // inversely proportional, normalised so the mean equals `strength`.
+  std::vector<double> weight(g.edges.size());
+  double total = 0.0;
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const auto& [u, v] = g.edges[e];
+    weight[e] = 1.0 / std::max(1.0, std::log1p(std::min(deg[u], deg[v])) + 1.0);
+    total += weight[e];
+  }
+  const double scale = strength * g.edges.size() / total;
+  Graph out = g;
+  out.edges.clear();
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const double p = std::min(0.95, weight[e] * scale);
+    if (!rng.Bernoulli(p)) out.edges.push_back(g.edges[e]);
+  }
+  return out;
+}
+
+}  // namespace gradgcl

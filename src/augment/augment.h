@@ -1,0 +1,67 @@
+// Graph data augmentations — the perturbation family Pert(·) from the
+// paper's Sec. II-C used by GraphCL / JOAO (graph level) and GRACE /
+// GCA / BGRL / COSTA / SGCL (node level):
+//   node dropping, edge perturbation, attribute masking, random-walk
+//   subgraph sampling, and GCA's degree-adaptive edge dropping.
+// SimGRACE's encoder perturbation lives in nn/module.h (PerturbState),
+// since it acts on weights rather than data.
+
+#ifndef GRADGCL_AUGMENT_AUGMENT_H_
+#define GRADGCL_AUGMENT_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// Augmentation family, matching GraphCL's menu.
+enum class AugmentKind {
+  kIdentity,
+  kNodeDrop,
+  kEdgePerturb,
+  kAttrMask,
+  kSubgraph,
+};
+
+// All non-identity kinds, in GraphCL's order (used by JOAO's sampler
+// and the Fig. 12(a) ablation).
+std::vector<AugmentKind> AllAugmentKinds();
+
+// Human-readable name ("NodeDrop", ...).
+std::string AugmentKindName(AugmentKind kind);
+
+// Applies one augmentation with the given strength (the fraction of
+// nodes / edges / attributes affected, in [0, 1)). The result is a
+// valid standalone graph; label and feature width carry over.
+Graph Augment(const Graph& g, AugmentKind kind, double strength, Rng& rng);
+
+// Drops each node independently with probability `strength` (at least
+// one node always survives); edges incident to dropped nodes vanish.
+Graph NodeDrop(const Graph& g, double strength, Rng& rng);
+
+// Removes each edge with probability `strength` and adds the same
+// expected number of random new edges.
+Graph EdgePerturb(const Graph& g, double strength, Rng& rng);
+
+// Removes each edge with probability `strength` (no additions) — the
+// edge-removal view used by GRACE / BGRL / SGCL.
+Graph EdgeDrop(const Graph& g, double strength, Rng& rng);
+
+// Zeroes each feature column independently with probability `strength`
+// (column-wise masking, as in GRACE).
+Graph AttrMask(const Graph& g, double strength, Rng& rng);
+
+// Random-walk induced subgraph keeping ~(1 - strength) of the nodes.
+Graph SubgraphSample(const Graph& g, double strength, Rng& rng);
+
+// GCA-style adaptive edge dropping: edges incident to low-degree nodes
+// are dropped with higher probability (centrality-aware), average drop
+// rate `strength`.
+Graph AdaptiveEdgeDrop(const Graph& g, double strength, Rng& rng);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_AUGMENT_AUGMENT_H_

@@ -1,0 +1,55 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gradgcl::ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& forward,
+    std::vector<Variable> inputs, double eps, double tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Variable& v : inputs) v.ZeroGrad();
+  Variable loss = forward(inputs);
+  GRADGCL_CHECK_MSG(loss.value().size() == 1,
+                    "CheckGradients needs a scalar loss");
+  Backward(loss);
+  std::vector<Matrix> analytic;
+  analytic.reserve(inputs.size());
+  for (const Variable& v : inputs) analytic.push_back(v.grad());
+
+  // Numeric pass: central differences on every input entry.
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Matrix base = inputs[k].value();
+    for (int idx = 0; idx < base.size(); ++idx) {
+      Matrix plus = base;
+      plus.at_flat(idx) += eps;
+      inputs[k].set_value(plus);
+      const double f_plus = forward(inputs).scalar();
+
+      Matrix minus = base;
+      minus.at_flat(idx) -= eps;
+      inputs[k].set_value(minus);
+      const double f_minus = forward(inputs).scalar();
+
+      inputs[k].set_value(base);
+
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double err = std::abs(numeric - analytic[k].at_flat(idx));
+      if (err > result.max_abs_error) {
+        result.max_abs_error = err;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "input %zu, flat index %d: analytic=%.8g numeric=%.8g",
+                      k, idx, analytic[k].at_flat(idx), numeric);
+        result.worst_entry = buf;
+      }
+      if (err > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace gradgcl::ag

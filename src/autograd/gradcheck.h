@@ -1,0 +1,37 @@
+// Numerical gradient checking: compares reverse-mode gradients against
+// central finite differences. Used throughout tests/ to pin down the
+// correctness of every differentiable op and of the GradGCL losses.
+
+#ifndef GRADGCL_AUTOGRAD_GRADCHECK_H_
+#define GRADGCL_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace gradgcl::ag {
+
+// Outcome of a gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  // Largest |analytic - numeric| over all checked entries.
+  double max_abs_error = 0.0;
+  // Human-readable description of the worst entry (for test output).
+  std::string worst_entry;
+};
+
+// Checks d(loss)/d(inputs[k]) for every k.
+//
+// `forward` must rebuild the scalar loss from scratch from the current
+// input values (it is invoked ~2 * Σ size(inputs) times with perturbed
+// values, plus once for the analytic pass). `eps` is the central
+// difference step; `tol` the acceptance threshold on absolute error.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& forward,
+    std::vector<Variable> inputs, double eps = 1e-5, double tol = 1e-6);
+
+}  // namespace gradgcl::ag
+
+#endif  // GRADGCL_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,43 @@
+// Lightweight precondition-checking macros in the spirit of glog's CHECK.
+//
+// The library does not use exceptions on its hot paths; violated
+// preconditions (dimension mismatches, out-of-range indices, invalid
+// configuration) abort the process with a file:line diagnostic. Tests
+// exercise these paths with gtest death tests.
+
+#ifndef GRADGCL_COMMON_CHECK_H_
+#define GRADGCL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gradgcl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "GRADGCL_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gradgcl::internal
+
+// Aborts with a diagnostic unless `cond` holds. Always on (also in
+// release builds): the cost is negligible next to the numeric work.
+#define GRADGCL_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gradgcl::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                    \
+  } while (0)
+
+// Like GRADGCL_CHECK but with an explanatory message literal.
+#define GRADGCL_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gradgcl::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                    \
+  } while (0)
+
+#endif  // GRADGCL_COMMON_CHECK_H_

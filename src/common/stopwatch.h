@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the efficiency experiments (Table VIII)
+// and the trainer's per-epoch timing hooks.
+
+#ifndef GRADGCL_COMMON_STOPWATCH_H_
+#define GRADGCL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gradgcl {
+
+// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  // Restarts the stopwatch from zero.
+  void Reset();
+
+  // Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const;
+
+  // Elapsed time in milliseconds.
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_COMMON_STOPWATCH_H_

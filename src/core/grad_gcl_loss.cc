@@ -1,0 +1,42 @@
+#include "core/grad_gcl_loss.h"
+
+namespace gradgcl {
+
+GradGclLoss::GradGclLoss(const GradGclConfig& config) : config_(config) {
+  GRADGCL_CHECK(config.weight >= 0.0 && config.weight <= 1.0);
+  GRADGCL_CHECK(config.tau > 0.0);
+}
+
+Variable GradGclLoss::RepresentationLoss(const TwoViewBatch& views) const {
+  return ContrastiveLoss(config_.loss, views.u, views.u_prime, config_.tau);
+}
+
+Variable GradGclLoss::GradientLoss(const TwoViewBatch& views) const {
+  Variable u = views.u;
+  Variable v = views.u_prime;
+  if (config_.detach_features) {
+    u = u.Detach();
+    v = v.Detach();
+  }
+  // g_n = ∂ℓ/∂u_n and its mirrored counterpart g'_n = ∂ℓ/∂u'_n.
+  Variable g = GradientFeatures(config_.loss, u, v, config_.tau);
+  Variable g_prime = GradientFeatures(config_.loss, v, u, config_.tau);
+  if (config_.detach_features) {
+    // With detached inputs the composite is constant; contrast the raw
+    // features instead so ℓ_g still returns a defined value. The main
+    // configuration (detach_features = false) trains through g.
+    return InfoNce(g, g_prime, config_.tau);
+  }
+  // Eq. 19: InfoNCE on the gradient features.
+  return InfoNce(g, g_prime, config_.tau);
+}
+
+Variable GradGclLoss::operator()(const TwoViewBatch& views) const {
+  const double a = config_.weight;
+  if (a == 0.0) return RepresentationLoss(views);
+  if (a == 1.0) return GradientLoss(views);
+  return ag::Add(ag::ScalarMul(RepresentationLoss(views), 1.0 - a),
+                 ag::ScalarMul(GradientLoss(views), a));
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,64 @@
+// GradGCL — the paper's plug-in loss (Sec. III-B, Fig. 4).
+//
+// Combines the backbone's representation contrastive loss ℓ_f with a
+// gradient contrastive loss ℓ_g computed on gradient features:
+//
+//   ℓ = (1 − a) · ℓ_f + a · ℓ_g            (paper Eq. 18)
+//   ℓ_g = InfoNCE(g_n, g'_n)               (paper Eq. 19)
+//
+// with g = ∂ℓ_f/∂u (closed form, see core/gradient_features.h) and
+// g' = ∂ℓ_f/∂u' its other-view counterpart. The table notation maps
+// onto the weight: XXX is weight = 0, XXX(g) is weight = 1, XXX(f+g)
+// is weight = a ∈ (0, 1). Any backbone exposing a two-view embedding
+// pair plugs in unchanged.
+
+#ifndef GRADGCL_CORE_GRAD_GCL_LOSS_H_
+#define GRADGCL_CORE_GRAD_GCL_LOSS_H_
+
+#include "core/gradient_features.h"
+#include "losses/contrastive.h"
+
+namespace gradgcl {
+
+// Configuration of the combined loss.
+struct GradGclConfig {
+  // a in Eq. 18: 0 = representations only, 1 = gradients only.
+  double weight = 0.5;
+  // Temperature shared by ℓ_f and ℓ_g (InfoNCE family).
+  double tau = 0.5;
+  // Backbone loss family; also selects the gradient-feature closed form.
+  LossKind loss = LossKind::kInfoNce;
+  // If true, gradient features are computed on detached embeddings, so
+  // ℓ_g shapes the representation only through the feature map's
+  // *inputs of the InfoNCE on g* (an ablation knob; default trains
+  // through the full composite as described in the paper).
+  bool detach_features = false;
+};
+
+// Two-view embedding pair produced by a backbone model for one batch.
+struct TwoViewBatch {
+  Variable u;        // view-1 embeddings after projection, n x d
+  Variable u_prime;  // view-2 embeddings after projection, n x d
+};
+
+// The combined GradGCL objective.
+class GradGclLoss {
+ public:
+  explicit GradGclLoss(const GradGclConfig& config);
+
+  // Eq. 18 on a two-view batch.
+  Variable operator()(const TwoViewBatch& views) const;
+
+  // The two components (exposed for the Fig. 7 instrumentation).
+  Variable RepresentationLoss(const TwoViewBatch& views) const;
+  Variable GradientLoss(const TwoViewBatch& views) const;
+
+  const GradGclConfig& config() const { return config_; }
+
+ private:
+  GradGclConfig config_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_CORE_GRAD_GCL_LOSS_H_

@@ -1,0 +1,271 @@
+#include "datasets/molecule_universe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+
+namespace gradgcl {
+
+namespace {
+
+// Atom-type propensities: index 0 is carbon-like (dominant), the rest
+// are heteroatoms with decreasing frequency.
+int SampleAtomType(Rng& rng) {
+  const double r = rng.Uniform();
+  if (r < 0.55) return 0;
+  if (r < 0.70) return 1;
+  if (r < 0.80) return 2;
+  if (r < 0.87) return 3;
+  if (r < 0.92) return 4;
+  if (r < 0.96) return 5;
+  if (r < 0.99) return 6;
+  return 7;
+}
+
+struct Builder {
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> atom_types;
+
+  int AddAtom(Rng& rng) {
+    atom_types.push_back(SampleAtomType(rng));
+    return static_cast<int>(atom_types.size()) - 1;
+  }
+  void AddEdge(int u, int v) { edges.emplace_back(u, v); }
+
+  // Appends a ring of `size` atoms; returns one attachment atom.
+  int AddRing(int size, Rng& rng) {
+    const int first = AddAtom(rng);
+    int prev = first;
+    for (int i = 1; i < size; ++i) {
+      const int cur = AddAtom(rng);
+      AddEdge(prev, cur);
+      prev = cur;
+    }
+    AddEdge(prev, first);
+    return first;
+  }
+
+  // Appends a chain of `size` atoms; returns its first atom.
+  int AddChain(int size, Rng& rng) {
+    const int first = AddAtom(rng);
+    int prev = first;
+    for (int i = 1; i < size; ++i) {
+      const int cur = AddAtom(rng);
+      AddEdge(prev, cur);
+      prev = cur;
+    }
+    return first;
+  }
+};
+
+Graph FinishGraph(Builder& b) {
+  Graph g;
+  g.num_nodes = static_cast<int>(b.atom_types.size());
+  // Deduplicate edges.
+  std::set<std::pair<int, int>> dedup;
+  for (auto [u, v] : b.edges) {
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    dedup.insert({u, v});
+  }
+  g.edges.assign(dedup.begin(), dedup.end());
+  g.features = Matrix(g.num_nodes, kNumAtomTypes, 0.0);
+  for (int i = 0; i < g.num_nodes; ++i) g.features(i, b.atom_types[i]) = 1.0;
+  return g;
+}
+
+// Molecule-like graph: 1–4 fragments (rings/chains) joined by bridges,
+// with occasional branches.
+Graph SampleMolecule(Rng& rng) {
+  Builder b;
+  const int num_fragments = 1 + rng.UniformInt(4);
+  int prev_anchor = -1;
+  for (int f = 0; f < num_fragments; ++f) {
+    int anchor;
+    if (rng.Bernoulli(0.6)) {
+      anchor = b.AddRing(rng.Bernoulli(0.5) ? 5 : 6, rng);
+    } else {
+      anchor = b.AddChain(2 + rng.UniformInt(4), rng);
+    }
+    if (prev_anchor >= 0) b.AddEdge(prev_anchor, anchor);
+    prev_anchor = anchor;
+  }
+  // Branches: decorate random atoms with short chains.
+  const int num_branches = rng.UniformInt(3);
+  for (int k = 0; k < num_branches; ++k) {
+    const int host = rng.UniformInt(static_cast<int>(b.atom_types.size()));
+    const int leaf = b.AddChain(1 + rng.UniformInt(2), rng);
+    b.AddEdge(host, leaf);
+  }
+  return FinishGraph(b);
+}
+
+// PPI-like graph: hubbier and denser — a few hub nodes plus
+// preferential attachment.
+Graph SamplePpiGraph(Rng& rng) {
+  Builder b;
+  const int n = 18 + rng.UniformInt(20);
+  for (int i = 0; i < n; ++i) b.AddAtom(rng);
+  // Preferential attachment with 2 links per new node.
+  std::vector<int> targets = {0, 1};
+  b.AddEdge(0, 1);
+  std::vector<int> repeated = {0, 1};
+  for (int i = 2; i < n; ++i) {
+    for (int m = 0; m < 2; ++m) {
+      const int t = repeated[rng.UniformInt(static_cast<int>(repeated.size()))];
+      if (t != i) {
+        b.AddEdge(i, t);
+        repeated.push_back(t);
+      }
+    }
+    repeated.push_back(i);
+    repeated.push_back(i);
+  }
+  // Extra random closures raise the clustering coefficient.
+  const int extra = n / 3;
+  for (int k = 0; k < extra; ++k) {
+    b.AddEdge(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  return FinishGraph(b);
+}
+
+}  // namespace
+
+std::vector<Graph> GeneratePretrainSet(PretrainKind kind, int num_graphs,
+                                       uint64_t seed) {
+  GRADGCL_CHECK(num_graphs > 0);
+  Rng rng(seed);
+  std::vector<Graph> graphs;
+  graphs.reserve(num_graphs);
+  for (int i = 0; i < num_graphs; ++i) {
+    graphs.push_back(kind == PretrainKind::kZinc ? SampleMolecule(rng)
+                                                 : SamplePpiGraph(rng));
+  }
+  return graphs;
+}
+
+int RingCount(const Graph& g) {
+  return g.num_edges() - g.num_nodes + CountConnectedComponents(g);
+}
+
+int TriangleCount(const Graph& g) {
+  CsrAdjacency csr = BuildCsr(g);
+  int triangles = 0;
+  for (const auto& [u, v] : g.edges) {
+    // Count common neighbours of u and v (each triangle found once
+    // per edge; divide by 3 at the end).
+    std::set<int> nu(csr.neighbors.begin() + csr.offsets[u],
+                     csr.neighbors.begin() + csr.offsets[u + 1]);
+    for (int k = csr.offsets[v]; k < csr.offsets[v + 1]; ++k) {
+      if (nu.count(csr.neighbors[k]) > 0) ++triangles;
+    }
+  }
+  return triangles / 3;
+}
+
+double AtomFraction(const Graph& g, int type) {
+  GRADGCL_CHECK(type >= 0 && type < g.feature_dim());
+  if (g.num_nodes == 0) return 0.0;
+  double count = 0.0;
+  for (int i = 0; i < g.num_nodes; ++i) {
+    int argmax = 0;
+    for (int j = 1; j < g.feature_dim(); ++j) {
+      if (g.features(i, j) > g.features(i, argmax)) argmax = j;
+    }
+    if (argmax == type) count += 1.0;
+  }
+  return count / g.num_nodes;
+}
+
+int MaxDegree(const Graph& g) {
+  std::vector<int> deg = Degrees(g);
+  return deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+}
+
+double ClusteringCoefficient(const Graph& g) {
+  std::vector<int> deg = Degrees(g);
+  double triads = 0.0;
+  for (int d : deg) triads += static_cast<double>(d) * (d - 1) / 2.0;
+  if (triads == 0.0) return 0.0;
+  return 3.0 * TriangleCount(g) / triads;
+}
+
+std::vector<std::string> TransferTaskNames() {
+  return {"PPI",     "BBBP", "ToxCast", "SIDER", "BACE",
+          "ClinTox", "MUV",  "Tox21",   "HIV"};
+}
+
+TransferTask GenerateTransferTask(const std::string& name, int num_graphs,
+                                  uint64_t seed, double label_noise) {
+  GRADGCL_CHECK(num_graphs > 0);
+  GRADGCL_CHECK(label_noise >= 0.0 && label_noise < 0.5);
+  Rng rng(seed);
+
+  // Property defining the task's label, computed on each graph.
+  std::function<double(const Graph&)> property;
+  PretrainKind source = PretrainKind::kZinc;
+  if (name == "PPI") {
+    source = PretrainKind::kPpi;
+    property = [](const Graph& g) { return ClusteringCoefficient(g); };
+  } else if (name == "BBBP") {
+    property = [](const Graph& g) {
+      return RingCount(g) + 0.3 * MaxDegree(g);
+    };
+  } else if (name == "ToxCast") {
+    property = [](const Graph& g) { return static_cast<double>(TriangleCount(g)); };
+  } else if (name == "SIDER") {
+    property = [](const Graph& g) {
+      return g.num_nodes > 0 ? 2.0 * g.num_edges() / g.num_nodes : 0.0;
+    };
+  } else if (name == "BACE") {
+    property = [](const Graph& g) {
+      return static_cast<double>(g.num_nodes) - 5.0 * RingCount(g);
+    };
+  } else if (name == "ClinTox") {
+    property = [](const Graph& g) {
+      return AtomFraction(g, 2) * (1.0 + RingCount(g));
+    };
+  } else if (name == "MUV") {
+    property = [](const Graph& g) {
+      return AtomFraction(g, 1) - AtomFraction(g, 3);
+    };
+  } else if (name == "Tox21") {
+    property = [](const Graph& g) { return AtomFraction(g, 1); };
+  } else if (name == "HIV") {
+    property = [](const Graph& g) {
+      return static_cast<double>(MaxDegree(g)) + AtomFraction(g, 4);
+    };
+  } else {
+    GRADGCL_CHECK_MSG(false, "unknown transfer task name");
+  }
+
+  TransferTask task;
+  task.name = name;
+  task.graphs.reserve(num_graphs);
+  std::vector<double> values(num_graphs);
+  for (int i = 0; i < num_graphs; ++i) {
+    Graph g = source == PretrainKind::kZinc ? SampleMolecule(rng)
+                                            : SamplePpiGraph(rng);
+    values[i] = property(g);
+    task.graphs.push_back(std::move(g));
+  }
+  // Median threshold -> balanced labels. Jitter breaks ties among
+  // graphs with identical integer-valued properties.
+  std::vector<double> jittered = values;
+  for (double& v : jittered) v += rng.Normal(0.0, 1e-6);
+  std::vector<double> sorted = jittered;
+  std::nth_element(sorted.begin(), sorted.begin() + num_graphs / 2,
+                   sorted.end());
+  const double median = sorted[num_graphs / 2];
+  for (int i = 0; i < num_graphs; ++i) {
+    int label = jittered[i] >= median ? 1 : 0;
+    if (rng.Bernoulli(label_noise)) label = 1 - label;
+    task.graphs[i].label = label;
+  }
+  return task;
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,70 @@
+// Transfer-learning suite replacing the paper's ZINC-2M / PPI-306K
+// pre-training corpora and MoleculeNet fine-tuning tasks (Table III /
+// Table VI).
+//
+// Substitution rationale (DESIGN.md §2): transfer learning requires
+// (i) a large unlabeled pre-train distribution, (ii) downstream tasks
+// drawn from the *same* structure distribution, with (iii) labels
+// derived from structural properties the encoder never saw during
+// pre-training. The MoleculeUniverse grammar — typed atoms, rings,
+// chains, branches — provides a shared distribution; each fine-tune
+// task thresholds a different structural property (ring count,
+// heteroatom fraction, triangle count, ...) at its median and applies
+// label-flip noise, yielding balanced binary tasks with a controlled
+// accuracy ceiling, exactly the regime of MoleculeNet ROC-AUC probes.
+
+#ifndef GRADGCL_DATASETS_MOLECULE_UNIVERSE_H_
+#define GRADGCL_DATASETS_MOLECULE_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// Flavour of the pre-training corpus.
+enum class PretrainKind {
+  kZinc,  // small-molecule-like graphs (rings + chains, ~20 atoms)
+  kPpi,   // protein-interaction-like graphs (denser, hubbier, ~30 nodes)
+};
+
+// A binary fine-tuning task drawn from the universe.
+struct TransferTask {
+  std::string name;
+  std::vector<Graph> graphs;  // Graph::label holds the binary label
+};
+
+// Number of atom types == node feature width of every universe graph.
+inline constexpr int kNumAtomTypes = 8;
+
+// Generates an unlabeled pre-training corpus. Deterministic in `seed`.
+std::vector<Graph> GeneratePretrainSet(PretrainKind kind, int num_graphs,
+                                       uint64_t seed);
+
+// Names of the supported fine-tune tasks, in Table VI column order:
+// PPI, BBBP, ToxCast, SIDER, BACE, ClinTox, MUV, Tox21, HIV.
+std::vector<std::string> TransferTaskNames();
+
+// Generates a fine-tuning task by name. `label_noise` is the fraction
+// of flipped labels (sets the achievable ROC-AUC ceiling).
+// Deterministic in `seed`; aborts on unknown names.
+TransferTask GenerateTransferTask(const std::string& name, int num_graphs,
+                                  uint64_t seed, double label_noise = 0.1);
+
+// --- Structural properties (exposed for tests and new tasks) --------------
+
+// Cyclomatic number: E - V + #components (ring count for molecules).
+int RingCount(const Graph& g);
+// Number of triangles.
+int TriangleCount(const Graph& g);
+// Fraction of nodes whose atom type equals `type` (argmax of feature).
+double AtomFraction(const Graph& g, int type);
+// Maximum node degree.
+int MaxDegree(const Graph& g);
+// Global clustering coefficient (3·triangles / open+closed triads).
+double ClusteringCoefficient(const Graph& g);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DATASETS_MOLECULE_UNIVERSE_H_

@@ -1,0 +1,62 @@
+// Synthetic stand-ins for the node-classification benchmarks of the
+// paper's Table II (Cora, CiteSeer, PubMed, WikiCS, Amazon Computers /
+// Photo, Coauthor CS / Physics, ogbn-Arxiv).
+//
+// Substitution rationale (DESIGN.md §2): node-level GCL (GRACE, GCA,
+// BGRL, MVGRL, COSTA, SGCL) needs a homophilous graph whose node
+// classes correlate with both community structure and features. The
+// stochastic block model with class-conditional Gaussian features is
+// the canonical synthetic form of exactly that; `feature_noise`
+// controls probe difficulty. Node counts are scaled to a few hundred.
+
+#ifndef GRADGCL_DATASETS_NODE_SYNTHETIC_H_
+#define GRADGCL_DATASETS_NODE_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// One transductive node-classification dataset: a single graph with
+// per-node labels and canonical train/val/test masks.
+struct NodeDataset {
+  std::string name;
+  Graph graph;                  // graph.label unused; per-node labels below
+  std::vector<int> labels;      // size num_nodes, values in [0, num_classes)
+  int num_classes = 0;
+  std::vector<int> train_idx;
+  std::vector<int> val_idx;
+  std::vector<int> test_idx;
+};
+
+// Generation profile for an SBM node dataset.
+struct NodeProfile {
+  std::string name;
+  int num_nodes = 300;
+  int num_classes = 5;
+  int feature_dim = 32;
+  double avg_degree = 6.0;
+  // Ratio p_out / p_in of the block model (lower = stronger communities).
+  double mixing = 0.15;
+  // Standard deviation of features around the class mean (class means
+  // are random unit vectors); higher = harder probes.
+  double feature_noise = 1.0;
+  // Fraction of nodes in the train / val masks (rest is test).
+  double train_frac = 0.1;
+  double val_frac = 0.1;
+};
+
+// Profiles matching the paper's Table II datasets, scaled down.
+std::vector<NodeProfile> PaperNodeProfiles();
+
+// Looks up a profile by name; aborts if unknown.
+NodeProfile NodeProfileByName(const std::string& name);
+
+// Generates the dataset; deterministic in `seed`.
+NodeDataset GenerateNodeDataset(const NodeProfile& profile, uint64_t seed);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DATASETS_NODE_SYNTHETIC_H_

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the TUDataset graph-classification corpora
+// used in the paper's Table I / Table IV (MUTAG, NCI1, PROTEINS, DD,
+// COLLAB, IMDB-B, RDT-B, RDT-M5K, RDT-M12K, TWITTER-RGP).
+//
+// Substitution rationale (see DESIGN.md §2): unsupervised graph
+// classification with GCL needs datasets whose class is recoverable
+// from graph *structure* and survives augmentation, with enough class
+// overlap that probe accuracy sits in the paper's 50–90% band. Each
+// profile plants class-conditional structure — per-class edge density,
+// triangle-motif rate, and hub strength are drawn from overlapping
+// class-conditional Gaussians — on top of an Erdős–Rényi backbone,
+// with degree-bucket one-hot node features (the standard featurisation
+// for the social-network TU datasets, which ship no node attributes).
+// Graph and node counts are scaled down ~10–400x to laptop scale;
+// the generated statistics are reported by bench_table1_dataset_stats.
+
+#ifndef GRADGCL_DATASETS_TU_SYNTHETIC_H_
+#define GRADGCL_DATASETS_TU_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// Generation profile for one TU-style dataset.
+struct TuProfile {
+  std::string name;
+  std::string category;        // "Biochemical" or "Social Networks"
+  int num_graphs = 100;
+  int num_classes = 2;
+  double avg_nodes = 20.0;     // mean of the per-graph node count
+  double node_jitter = 0.25;   // relative spread of node counts
+  double base_degree = 3.0;    // mean degree of the class-0 backbone
+  double degree_step = 1.1;    // per-class increment of mean degree
+  double triangle_rate = 0.15; // per-class triangle-motif planting rate
+  double class_overlap = 0.45; // σ of the class-conditional parameter draws
+                               // relative to the class step (higher = harder)
+  int feature_dim = 8;         // degree-bucket one-hot width
+};
+
+// The ten profiles matching the paper's Table I datasets, scaled down.
+// Order matches the columns of Table IV.
+std::vector<TuProfile> PaperTuProfiles();
+
+// Looks up a profile by (case-sensitive) name; aborts if unknown.
+TuProfile TuProfileByName(const std::string& name);
+
+// Generates the dataset for `profile`; deterministic in `seed`.
+// Labels are balanced round-robin across classes.
+std::vector<Graph> GenerateTuDataset(const TuProfile& profile, uint64_t seed);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DATASETS_TU_SYNTHETIC_H_

@@ -1,0 +1,72 @@
+#include "eval/cross_validation.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+ScoreSummary Summarize(const std::vector<double>& scores) {
+  ScoreSummary summary;
+  summary.count = static_cast<int>(scores.size());
+  if (scores.empty()) return summary;
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  summary.mean = sum / scores.size();
+  double var = 0.0;
+  for (double s : scores) {
+    const double d = s - summary.mean;
+    var += d * d;
+  }
+  summary.stddev = scores.size() > 1
+                       ? std::sqrt(var / (scores.size() - 1))
+                       : 0.0;
+  return summary;
+}
+
+std::vector<std::vector<int>> KFoldSplits(int n, int folds, Rng& rng) {
+  GRADGCL_CHECK(folds >= 2 && n >= folds);
+  std::vector<int> perm = rng.Permutation(n);
+  std::vector<std::vector<int>> splits(folds);
+  for (int i = 0; i < n; ++i) splits[i % folds].push_back(perm[i]);
+  return splits;
+}
+
+ScoreSummary CrossValidateAccuracy(const Matrix& embeddings,
+                                   const std::vector<int>& labels,
+                                   int num_classes, int folds,
+                                   const ProbeOptions& options,
+                                   uint64_t seed) {
+  GRADGCL_CHECK(embeddings.rows() == static_cast<int>(labels.size()));
+  Rng rng(seed);
+  const std::vector<std::vector<int>> splits =
+      KFoldSplits(embeddings.rows(), folds, rng);
+
+  std::vector<double> fold_accuracies;
+  fold_accuracies.reserve(folds);
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<int> train_idx;
+    for (int other = 0; other < folds; ++other) {
+      if (other == fold) continue;
+      train_idx.insert(train_idx.end(), splits[other].begin(),
+                       splits[other].end());
+    }
+    const std::vector<int>& test_idx = splits[fold];
+
+    Matrix train_x = embeddings.Gather(train_idx);
+    std::vector<int> train_y;
+    train_y.reserve(train_idx.size());
+    for (int i : train_idx) train_y.push_back(labels[i]);
+
+    LinearProbe probe =
+        LinearProbe::Fit(train_x, train_y, num_classes, options);
+
+    Matrix test_x = embeddings.Gather(test_idx);
+    std::vector<int> test_y;
+    test_y.reserve(test_idx.size());
+    for (int i : test_idx) test_y.push_back(labels[i]);
+
+    fold_accuracies.push_back(Accuracy(probe.Predict(test_x), test_y));
+  }
+  return Summarize(fold_accuracies);
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,36 @@
+// k-fold cross-validated probe evaluation — the paper's protocol for
+// unsupervised graph classification (10-fold SVM on frozen embeddings,
+// mean accuracy ± std over multiple evaluation seeds).
+
+#ifndef GRADGCL_EVAL_CROSS_VALIDATION_H_
+#define GRADGCL_EVAL_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "eval/probes.h"
+
+namespace gradgcl {
+
+// Mean ± standard deviation of a set of scores.
+struct ScoreSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int count = 0;
+};
+
+ScoreSummary Summarize(const std::vector<double>& scores);
+
+// Shuffled k-fold index split of n items.
+std::vector<std::vector<int>> KFoldSplits(int n, int folds, Rng& rng);
+
+// k-fold cross-validated probe accuracy on frozen embeddings.
+// Each fold trains a probe on the other folds and scores this one;
+// returns the summary over folds.
+ScoreSummary CrossValidateAccuracy(const Matrix& embeddings,
+                                   const std::vector<int>& labels,
+                                   int num_classes, int folds,
+                                   const ProbeOptions& options, uint64_t seed);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_EVAL_CROSS_VALIDATION_H_

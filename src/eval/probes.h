@@ -1,0 +1,75 @@
+// Downstream probes applied to frozen embeddings, mirroring the
+// paper's evaluation protocol: a linear SVM for unsupervised graph
+// classification (smaller TU datasets), an SGD linear classifier for
+// the larger ones, a logistic-regression probe for node classification
+// and transfer-learning fine-tuning, plus accuracy and ROC-AUC.
+
+#ifndef GRADGCL_EVAL_PROBES_H_
+#define GRADGCL_EVAL_PROBES_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+
+// Probe flavour.
+enum class ProbeKind {
+  kLogistic,   // multinomial logistic regression (softmax CE)
+  kLinearSvm,  // multiclass hinge (Crammer–Singer style), L2-regularised
+};
+
+// Probe training hyperparameters.
+struct ProbeOptions {
+  ProbeKind kind = ProbeKind::kLinearSvm;
+  int epochs = 120;
+  double lr = 0.1;
+  double weight_decay = 1e-4;
+  uint64_t seed = 3;
+};
+
+// A trained linear probe: scores = features * weight + bias.
+class LinearProbe {
+ public:
+  // Trains on (features[i], labels[i]); labels in [0, num_classes).
+  static LinearProbe Fit(const Matrix& features,
+                         const std::vector<int>& labels, int num_classes,
+                         const ProbeOptions& options);
+
+  // Class scores, one row per input row.
+  Matrix Scores(const Matrix& features) const;
+
+  // Argmax predictions.
+  std::vector<int> Predict(const Matrix& features) const;
+
+  int num_classes() const { return weight_.cols(); }
+
+ private:
+  LinearProbe(Matrix weight, Matrix bias);
+  Matrix weight_;  // dim x classes
+  Matrix bias_;    // 1 x classes
+};
+
+// Fraction of positions where predictions equal labels.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+// Area under the ROC curve for binary labels (0/1) given real-valued
+// scores; ties are handled by midrank. Returns 0.5 for degenerate
+// single-class inputs.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+// num_classes x num_classes confusion matrix: entry (t, p) counts
+// samples of true class t predicted as class p.
+Matrix ConfusionMatrix(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes);
+
+// Macro-averaged F1 over classes (classes absent from both predictions
+// and labels contribute F1 = 0 and are skipped from the average).
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& labels, int num_classes);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_EVAL_PROBES_H_

@@ -1,0 +1,103 @@
+#include "eval/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+namespace {
+
+// Indices sorted by class label (stable within a class).
+std::vector<int> ClassSortedOrder(const std::vector<int>& labels) {
+  std::vector<int> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return labels[a] < labels[b]; });
+  return order;
+}
+
+}  // namespace
+
+SimilarityReport AnalyzeSimilarity(const Matrix& embeddings,
+                                   const std::vector<int>& labels) {
+  const int n = embeddings.rows();
+  GRADGCL_CHECK(static_cast<int>(labels.size()) == n && n >= 2);
+  const Matrix sim = CosineSimilarityMatrix(embeddings, embeddings);
+
+  SimilarityReport report;
+  double intra_sum = 0.0, inter_sum = 0.0, all_sum = 0.0, all_sq = 0.0;
+  int intra_count = 0, inter_count = 0;
+  std::vector<int> histogram(16, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double s = sim(i, j);
+      all_sum += s;
+      all_sq += s * s;
+      const int bin = std::clamp(
+          static_cast<int>((s + 1.0) / 2.0 * 16.0), 0, 15);
+      ++histogram[bin];
+      if (labels[i] == labels[j]) {
+        intra_sum += s;
+        ++intra_count;
+      } else {
+        inter_sum += s;
+        ++inter_count;
+      }
+    }
+  }
+  const int total = intra_count + inter_count;
+  if (intra_count > 0) report.intra_class_mean = intra_sum / intra_count;
+  if (inter_count > 0) report.inter_class_mean = inter_sum / inter_count;
+  report.block_contrast = report.intra_class_mean - report.inter_class_mean;
+  const double mean = all_sum / total;
+  report.similarity_stddev = std::sqrt(std::max(0.0, all_sq / total - mean * mean));
+  for (int count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    report.similarity_entropy -= p * std::log(p);
+  }
+  return report;
+}
+
+std::string AsciiSimilarityHeatmap(const Matrix& embeddings,
+                                   const std::vector<int>& labels,
+                                   int cells) {
+  const int n = embeddings.rows();
+  GRADGCL_CHECK(static_cast<int>(labels.size()) == n && n >= 2 && cells >= 2);
+  cells = std::min(cells, n);
+  const std::vector<int> order = ClassSortedOrder(labels);
+  const Matrix sorted = embeddings.Gather(order);
+  const Matrix sim = CosineSimilarityMatrix(sorted, sorted);
+
+  // Block-average into cells x cells, then map [-1, 1] to shades.
+  static const char* kShades = " .:-=+*#%@";
+  std::string out;
+  for (int bi = 0; bi < cells; ++bi) {
+    const int r0 = bi * n / cells;
+    const int r1 = (bi + 1) * n / cells;
+    for (int bj = 0; bj < cells; ++bj) {
+      const int c0 = bj * n / cells;
+      const int c1 = (bj + 1) * n / cells;
+      double sum = 0.0;
+      int count = 0;
+      for (int r = r0; r < r1; ++r) {
+        for (int c = c0; c < c1; ++c) {
+          sum += sim(r, c);
+          ++count;
+        }
+      }
+      const double avg = count > 0 ? sum / count : 0.0;
+      const int shade = std::clamp(
+          static_cast<int>((avg + 1.0) / 2.0 * 10.0), 0, 9);
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gradgcl

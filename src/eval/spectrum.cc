@@ -1,0 +1,35 @@
+#include "eval/spectrum.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/linalg.h"
+
+namespace gradgcl {
+
+SpectrumReport AnalyzeSpectrum(const Matrix& representations,
+                               double floor_log10) {
+  SpectrumReport report;
+  report.singular_values = CovarianceSpectrum(representations);
+  report.log10_values.reserve(report.singular_values.size());
+  const double floor_value = std::pow(10.0, floor_log10);
+  for (double v : report.singular_values) {
+    report.log10_values.push_back(std::log10(std::max(v, floor_value)));
+  }
+  report.surviving_dims = RankAtThreshold(report.singular_values, 1e-6);
+  report.effective_rank = EffectiveRank(report.singular_values);
+  return report;
+}
+
+std::string SpectrumTsv(const SpectrumReport& report) {
+  std::string out;
+  char buf[32];
+  for (size_t i = 0; i < report.log10_values.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f", i == 0 ? "" : "\t",
+                  report.log10_values[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gradgcl

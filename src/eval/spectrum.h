@@ -1,0 +1,37 @@
+// Spectrum diagnostics of a representation matrix — the analysis
+// behind the paper's Figs. 1 and 5 (sorted log singular values of the
+// representation covariance, collapse indicators).
+
+#ifndef GRADGCL_EVAL_SPECTRUM_H_
+#define GRADGCL_EVAL_SPECTRUM_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+
+// Full spectrum report of one representation matrix.
+struct SpectrumReport {
+  // Sorted (descending) singular values of the covariance (Eq. 5).
+  std::vector<double> singular_values;
+  // log10 of the values, floored at `floor_log10` for collapsed dims.
+  std::vector<double> log10_values;
+  // Number of dimensions with σ >= 1e-6 · σ_max ("surviving" dims).
+  int surviving_dims = 0;
+  // Entropy-based effective rank of the spectrum.
+  double effective_rank = 0.0;
+};
+
+// Computes the report; `floor_log10` clamps log10 of zero values.
+SpectrumReport AnalyzeSpectrum(const Matrix& representations,
+                               double floor_log10 = -12.0);
+
+// Renders the log spectrum as a TSV line "v0<TAB>v1<TAB>..." for the
+// figure benches.
+std::string SpectrumTsv(const SpectrumReport& report);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_EVAL_SPECTRUM_H_

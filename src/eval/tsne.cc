@@ -1,0 +1,152 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+namespace {
+
+// Row-conditional affinities p_{j|i} at the sigma solving for the
+// requested perplexity (binary search on log-scale beta = 1/(2σ²)).
+Matrix ConditionalAffinities(const Matrix& d2, double perplexity) {
+  const int n = d2.rows();
+  Matrix p(n, n, 0.0);
+  const double target_entropy = std::log(perplexity);
+  for (int i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 64; ++iter) {
+      // Entropy of the affinity row at the current beta.
+      double sum = 0.0;
+      double weighted = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * d2(i, j));
+        sum += w;
+        weighted += w * d2(i, j);
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+        continue;
+      }
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::abs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e11 ? beta * 2.0 : (beta_lo + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p(i, j) = std::exp(-beta * d2(i, j));
+      sum += p(i, j);
+    }
+    if (sum > 0.0) {
+      for (int j = 0; j < n; ++j) p(i, j) /= sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& x, const TsneOptions& options) {
+  const int n = x.rows();
+  GRADGCL_CHECK(n >= 4);
+  GRADGCL_CHECK(options.perplexity > 1.0 &&
+                options.perplexity < static_cast<double>(n));
+
+  // Symmetrised input affinities P.
+  const Matrix d2 = SquaredDistanceMatrix(x, x);
+  Matrix p = ConditionalAffinities(d2, options.perplexity);
+  Matrix p_sym(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      p_sym(i, j) = std::max((p(i, j) + p(j, i)) / (2.0 * n), 1e-12);
+    }
+  }
+
+  Rng rng(options.seed);
+  Matrix y = Matrix::RandomNormal(n, options.output_dim, rng, 0.0, 1e-2);
+  Matrix velocity(n, options.output_dim, 0.0);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.exaggeration : 1.0;
+
+    // Student-t low-dimensional affinities Q (unnormalised weights W).
+    const Matrix yd2 = SquaredDistanceMatrix(y, y);
+    Matrix w(n, n, 0.0);
+    double w_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        w(i, j) = 1.0 / (1.0 + yd2(i, j));
+        w_sum += w(i, j);
+      }
+    }
+
+    // Gradient: 4 Σ_j (e·P_ij − Q_ij) w_ij (y_i − y_j).
+    Matrix grad(n, options.output_dim, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = w(i, j) / w_sum;
+        const double coeff =
+            4.0 * (exaggeration * p_sym(i, j) - q) * w(i, j);
+        for (int d = 0; d < options.output_dim; ++d) {
+          grad(i, d) += coeff * (y(i, d) - y(j, d));
+        }
+      }
+    }
+
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < options.output_dim; ++d) {
+        velocity(i, d) = options.momentum * velocity(i, d) -
+                         options.learning_rate * grad(i, d);
+        y(i, d) += velocity(i, d);
+      }
+    }
+  }
+  return y;
+}
+
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels) {
+  const int n = points.rows();
+  GRADGCL_CHECK(static_cast<int>(labels.size()) == n && n >= 2);
+  const Matrix d2 = SquaredDistanceMatrix(points, points);
+  const int num_classes =
+      1 + *std::max_element(labels.begin(), labels.end());
+
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> class_sum(num_classes, 0.0);
+    std::vector<int> class_count(num_classes, 0);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      class_sum[labels[j]] += std::sqrt(d2(i, j));
+      ++class_count[labels[j]];
+    }
+    if (class_count[labels[i]] == 0) continue;  // singleton cluster
+    const double a = class_sum[labels[i]] / class_count[labels[i]];
+    double b = 1e300;
+    for (int c = 0; c < num_classes; ++c) {
+      if (c == labels[i] || class_count[c] == 0) continue;
+      b = std::min(b, class_sum[c] / class_count[c]);
+    }
+    if (b >= 1e300) continue;  // only one populated class
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,91 @@
+#include "graph/batch.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+namespace {
+
+GraphBatch MakeBatchImpl(const std::vector<const Graph*>& graphs) {
+  GRADGCL_CHECK_MSG(!graphs.empty(), "cannot batch zero graphs");
+  const int feature_dim = graphs[0]->feature_dim();
+  int total_nodes = 0;
+  int total_edges = 0;
+  for (const Graph* g : graphs) {
+    GRADGCL_CHECK_MSG(g->feature_dim() == feature_dim,
+                      "feature_dim mismatch across batch");
+    total_nodes += g->num_nodes;
+    total_edges += g->num_edges();
+  }
+
+  GraphBatch batch;
+  batch.num_graphs = static_cast<int>(graphs.size());
+  batch.total_nodes = total_nodes;
+  batch.features = Matrix(total_nodes, feature_dim);
+  batch.segments.resize(total_nodes);
+  batch.labels.reserve(graphs.size());
+
+  std::vector<Triplet> norm_triplets;
+  std::vector<Triplet> self_triplets;
+  norm_triplets.reserve(2 * total_edges + total_nodes);
+  self_triplets.reserve(2 * total_edges + total_nodes);
+
+  int offset = 0;
+  for (size_t k = 0; k < graphs.size(); ++k) {
+    const Graph& g = *graphs[k];
+    batch.labels.push_back(g.label);
+    for (int i = 0; i < g.num_nodes; ++i) {
+      batch.segments[offset + i] = static_cast<int>(k);
+      for (int j = 0; j < feature_dim; ++j) {
+        batch.features(offset + i, j) = g.features(i, j);
+      }
+    }
+    std::vector<int> deg(g.num_nodes, 0);
+    for (const auto& [u, v] : g.edges) {
+      ++deg[u];
+      ++deg[v];
+    }
+    for (int i = 0; i < g.num_nodes; ++i) {
+      const double inv = 1.0 / (static_cast<double>(deg[i]) + 1.0);
+      norm_triplets.push_back({offset + i, offset + i, inv});
+      self_triplets.push_back({offset + i, offset + i, 1.0});
+    }
+    for (const auto& [u, v] : g.edges) {
+      const double w =
+          1.0 / std::sqrt((deg[u] + 1.0)) / std::sqrt((deg[v] + 1.0));
+      norm_triplets.push_back({offset + u, offset + v, w});
+      norm_triplets.push_back({offset + v, offset + u, w});
+      self_triplets.push_back({offset + u, offset + v, 1.0});
+      self_triplets.push_back({offset + v, offset + u, 1.0});
+    }
+    offset += g.num_nodes;
+  }
+
+  batch.norm_adj =
+      SparseMatrix(total_nodes, total_nodes, std::move(norm_triplets));
+  batch.adj_self =
+      SparseMatrix(total_nodes, total_nodes, std::move(self_triplets));
+  return batch;
+}
+
+}  // namespace
+
+GraphBatch MakeBatch(const std::vector<Graph>& graphs) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  return MakeBatchImpl(ptrs);
+}
+
+GraphBatch MakeBatch(const std::vector<Graph>& graphs,
+                     const std::vector<int>& indices) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(indices.size());
+  for (int idx : indices) {
+    GRADGCL_CHECK(idx >= 0 && idx < static_cast<int>(graphs.size()));
+    ptrs.push_back(&graphs[idx]);
+  }
+  return MakeBatchImpl(ptrs);
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,40 @@
+// Mini-batching of graphs by disjoint union, the standard trick for
+// graph-level GNN training: node features are stacked, the adjacency
+// operator becomes block-diagonal (still sparse), and a segment vector
+// maps each node to its source graph for readout.
+
+#ifndef GRADGCL_GRAPH_BATCH_H_
+#define GRADGCL_GRAPH_BATCH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// A disjoint union of graphs, ready for one GNN forward pass.
+struct GraphBatch {
+  // Stacked node features, total_nodes x feature_dim.
+  Matrix features;
+  // Block-diagonal GCN operator D~^{-1/2}(A+I)D~^{-1/2}.
+  SparseMatrix norm_adj;
+  // Block-diagonal A + I (GIN-style aggregation).
+  SparseMatrix adj_self;
+  // segments[i] = index of the graph that node i belongs to.
+  std::vector<int> segments;
+  int num_graphs = 0;
+  int total_nodes = 0;
+  // Labels of the batched graphs (label of graph k at position k).
+  std::vector<int> labels;
+};
+
+// Builds the disjoint-union batch. All graphs must share feature_dim.
+GraphBatch MakeBatch(const std::vector<Graph>& graphs);
+
+// Builds a batch from the subset graphs[indices[k]].
+GraphBatch MakeBatch(const std::vector<Graph>& graphs,
+                     const std::vector<int>& indices);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_GRAPH_BATCH_H_

@@ -1,0 +1,43 @@
+#include "graph/diffusion.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+Matrix PprDiffusion(const Graph& g, double alpha) {
+  GRADGCL_CHECK(alpha > 0.0 && alpha < 1.0);
+  const int n = g.num_nodes;
+  // Â = D~^{-1/2} (A + I) D~^{-1/2} densified (graphs are small here).
+  const Matrix a_hat = NormalizedAdjacency(g).ToDense();
+  // (I − (1−α) Â) S = α I.
+  Matrix system = Matrix::Identity(n);
+  system -= (1.0 - alpha) * a_hat;
+  Matrix rhs = Matrix::Identity(n);
+  rhs *= alpha;
+  return SolveLinear(system, rhs);
+}
+
+SparseMatrix SparsifyDiffusion(const Matrix& diffusion, double threshold) {
+  const int n = diffusion.rows();
+  GRADGCL_CHECK(diffusion.cols() == n);
+  std::vector<Triplet> triplets;
+  std::vector<double> row_sums(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double v = diffusion(i, j);
+      if (i == j || v >= threshold) {
+        triplets.push_back({i, j, v});
+        row_sums[i] += v;
+      }
+    }
+  }
+  for (Triplet& t : triplets) {
+    if (row_sums[t.row] > 0.0) t.value /= row_sums[t.row];
+  }
+  return SparseMatrix(n, n, std::move(triplets));
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,25 @@
+// Graph diffusion operators. MVGRL contrasts a local (adjacency) view
+// against a global (diffusion) view; the standard choice is the
+// Personalised PageRank (PPR) kernel
+//   S = α (I − (1−α) D^{-1/2} A D^{-1/2})^{-1},
+// computed exactly here (graphs are small) via a dense linear solve.
+
+#ifndef GRADGCL_GRAPH_DIFFUSION_H_
+#define GRADGCL_GRAPH_DIFFUSION_H_
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// Exact PPR diffusion matrix of `g` with teleport probability `alpha`.
+// Returns a dense num_nodes x num_nodes matrix.
+Matrix PprDiffusion(const Graph& g, double alpha = 0.2);
+
+// Sparsifies a dense diffusion matrix by keeping entries >= threshold
+// (plus the diagonal), then row-normalising. Mirrors MVGRL's top-k/ε
+// sparsification step.
+SparseMatrix SparsifyDiffusion(const Matrix& diffusion, double threshold = 1e-4);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_GRAPH_DIFFUSION_H_

@@ -1,0 +1,139 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gradgcl {
+
+void ValidateGraph(const Graph& g) {
+  GRADGCL_CHECK(g.num_nodes >= 0);
+  GRADGCL_CHECK_MSG(g.features.rows() == g.num_nodes,
+                    "feature row count != num_nodes");
+  for (const auto& [u, v] : g.edges) {
+    GRADGCL_CHECK_MSG(u >= 0 && u < g.num_nodes && v >= 0 && v < g.num_nodes,
+                      "edge endpoint out of range");
+    GRADGCL_CHECK_MSG(u != v, "self loop in edge list");
+  }
+}
+
+std::vector<int> Degrees(const Graph& g) {
+  std::vector<int> deg(g.num_nodes, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++deg[u];
+    ++deg[v];
+  }
+  return deg;
+}
+
+CsrAdjacency BuildCsr(const Graph& g) {
+  CsrAdjacency csr;
+  csr.offsets.assign(g.num_nodes + 1, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++csr.offsets[u + 1];
+    ++csr.offsets[v + 1];
+  }
+  for (int i = 0; i < g.num_nodes; ++i) csr.offsets[i + 1] += csr.offsets[i];
+  csr.neighbors.resize(2 * g.edges.size());
+  std::vector<int> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [u, v] : g.edges) {
+    csr.neighbors[cursor[u]++] = v;
+    csr.neighbors[cursor[v]++] = u;
+  }
+  return csr;
+}
+
+SparseMatrix NormalizedAdjacency(const Graph& g) {
+  std::vector<int> deg = Degrees(g);
+  std::vector<double> inv_sqrt(g.num_nodes);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    inv_sqrt[i] = 1.0 / std::sqrt(static_cast<double>(deg[i]) + 1.0);
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * g.edges.size() + g.num_nodes);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    triplets.push_back({i, i, inv_sqrt[i] * inv_sqrt[i]});
+  }
+  for (const auto& [u, v] : g.edges) {
+    const double w = inv_sqrt[u] * inv_sqrt[v];
+    triplets.push_back({u, v, w});
+    triplets.push_back({v, u, w});
+  }
+  return SparseMatrix(g.num_nodes, g.num_nodes, std::move(triplets));
+}
+
+SparseMatrix AdjacencyWithSelfLoops(const Graph& g) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * g.edges.size() + g.num_nodes);
+  for (int i = 0; i < g.num_nodes; ++i) triplets.push_back({i, i, 1.0});
+  for (const auto& [u, v] : g.edges) {
+    triplets.push_back({u, v, 1.0});
+    triplets.push_back({v, u, 1.0});
+  }
+  return SparseMatrix(g.num_nodes, g.num_nodes, std::move(triplets));
+}
+
+SparseMatrix Adjacency(const Graph& g) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * g.edges.size());
+  for (const auto& [u, v] : g.edges) {
+    triplets.push_back({u, v, 1.0});
+    triplets.push_back({v, u, 1.0});
+  }
+  return SparseMatrix(g.num_nodes, g.num_nodes, std::move(triplets));
+}
+
+bool HasEdge(const Graph& g, int u, int v) {
+  for (const auto& [a, b] : g.edges) {
+    if ((a == u && b == v) || (a == v && b == u)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+int FindRoot(std::vector<int>& parent, int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+int CountConnectedComponents(const Graph& g) {
+  std::vector<int> parent(g.num_nodes);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (const auto& [u, v] : g.edges) {
+    const int ru = FindRoot(parent, u);
+    const int rv = FindRoot(parent, v);
+    if (ru != rv) parent[ru] = rv;
+  }
+  int components = 0;
+  for (int i = 0; i < g.num_nodes; ++i) {
+    if (FindRoot(parent, i) == i) ++components;
+  }
+  return components;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<int>& keep) {
+  std::vector<int> remap(g.num_nodes, -1);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    GRADGCL_CHECK(keep[i] >= 0 && keep[i] < g.num_nodes);
+    GRADGCL_CHECK_MSG(remap[keep[i]] == -1, "duplicate node in keep list");
+    remap[keep[i]] = static_cast<int>(i);
+  }
+  Graph sub;
+  sub.num_nodes = static_cast<int>(keep.size());
+  sub.label = g.label;
+  sub.features = g.features.Gather(keep);
+  for (const auto& [u, v] : g.edges) {
+    if (remap[u] >= 0 && remap[v] >= 0) {
+      sub.edges.emplace_back(remap[u], remap[v]);
+    }
+  }
+  return sub;
+}
+
+}  // namespace gradgcl

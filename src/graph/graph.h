@@ -1,0 +1,72 @@
+// Attributed graph G = (V, X, A) as defined in the paper's Sec. II-B:
+// node set, node-attribute matrix X ∈ R^{|V| x d}, and adjacency.
+//
+// Graphs in this library are small (10s–100s of nodes), undirected and
+// unweighted; edges are stored once as (u, v) pairs with u != v. The
+// adjacency operators GNNs need (Â = D^{-1/2}(A + I)D^{-1/2} for GCN,
+// A + I for GIN-style sum aggregation) are built on demand as sparse
+// matrices.
+
+#ifndef GRADGCL_GRAPH_GRAPH_H_
+#define GRADGCL_GRAPH_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace gradgcl {
+
+// Undirected attributed graph with an optional integer class label.
+struct Graph {
+  int num_nodes = 0;
+  // Undirected edges (u, v), each stored once, u != v, no duplicates.
+  std::vector<std::pair<int, int>> edges;
+  // Node attributes, num_nodes x feature_dim.
+  Matrix features;
+  // Class label for supervised probes; -1 if unlabeled.
+  int label = -1;
+
+  int num_edges() const { return static_cast<int>(edges.size()); }
+  int feature_dim() const { return features.cols(); }
+};
+
+// Validates structural invariants (indices in range, no self loops,
+// feature row count). Aborts on violation; call after construction of
+// hand-built graphs.
+void ValidateGraph(const Graph& g);
+
+// Per-node degrees.
+std::vector<int> Degrees(const Graph& g);
+
+// Adjacency lists in CSR form (both directions of each edge).
+struct CsrAdjacency {
+  std::vector<int> offsets;    // size num_nodes + 1
+  std::vector<int> neighbors;  // size 2 * num_edges
+};
+CsrAdjacency BuildCsr(const Graph& g);
+
+// Symmetrically normalised adjacency with self loops:
+//   Â = D~^{-1/2} (A + I) D~^{-1/2}  — the GCN propagation operator.
+SparseMatrix NormalizedAdjacency(const Graph& g);
+
+// A + I as a sparse operator (GIN-style sum aggregation).
+SparseMatrix AdjacencyWithSelfLoops(const Graph& g);
+
+// Plain A as a sparse operator.
+SparseMatrix Adjacency(const Graph& g);
+
+// Whether (u, v) or (v, u) appears in g.edges. O(E).
+bool HasEdge(const Graph& g, int u, int v);
+
+// Number of connected components (union-find).
+int CountConnectedComponents(const Graph& g);
+
+// Returns the induced subgraph on `keep` (node ids remapped to
+// 0..keep.size()-1 in the order given). Features and label carried over.
+Graph InducedSubgraph(const Graph& g, const std::vector<int>& keep);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_GRAPH_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "graph/stats.h"
+
+#include <cstdio>
+#include <set>
+
+namespace gradgcl {
+
+DatasetStats ComputeStats(const std::vector<Graph>& graphs) {
+  DatasetStats stats;
+  stats.num_graphs = static_cast<int>(graphs.size());
+  if (graphs.empty()) return stats;
+
+  std::set<int> classes;
+  double nodes = 0.0, edges = 0.0, degree = 0.0;
+  for (const Graph& g : graphs) {
+    if (g.label >= 0) classes.insert(g.label);
+    nodes += g.num_nodes;
+    edges += g.num_edges();
+    if (g.num_nodes > 0) degree += 2.0 * g.num_edges() / g.num_nodes;
+  }
+  stats.num_classes = static_cast<int>(classes.size());
+  stats.avg_nodes = nodes / graphs.size();
+  stats.avg_edges = edges / graphs.size();
+  stats.avg_degree = degree / graphs.size();
+  stats.feature_dim = graphs[0].feature_dim();
+  return stats;
+}
+
+std::string FormatStatsRow(const std::string& name,
+                           const std::string& category,
+                           const DatasetStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-14s %-16s %8d %8d %10.2f %10.2f %8d",
+                name.c_str(), category.c_str(), stats.num_graphs,
+                stats.num_classes, stats.avg_nodes, stats.avg_edges,
+                stats.feature_dim);
+  return buf;
+}
+
+}  // namespace gradgcl

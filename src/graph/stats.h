@@ -1,0 +1,37 @@
+// Dataset statistics, used to regenerate the paper's Tables I–III from
+// the synthetic datasets (number of graphs, classes, average node and
+// edge counts, average degree).
+
+#ifndef GRADGCL_GRAPH_STATS_H_
+#define GRADGCL_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// Aggregate statistics of a collection of graphs.
+struct DatasetStats {
+  int num_graphs = 0;
+  int num_classes = 0;
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;
+  double avg_degree = 0.0;
+  int feature_dim = 0;
+};
+
+// Computes statistics over `graphs`. Classes are counted as the number
+// of distinct non-negative labels.
+DatasetStats ComputeStats(const std::vector<Graph>& graphs);
+
+// Renders one table row: name, category, stats — the layout used by
+// the Table I/III benches.
+std::string FormatStatsRow(const std::string& name,
+                           const std::string& category,
+                           const DatasetStats& stats);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_GRAPH_STATS_H_

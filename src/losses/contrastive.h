@@ -1,0 +1,69 @@
+// Contrastive losses over paired two-view embeddings.
+//
+// All functions take u, v of identical shape n x d, where row i of u
+// and row i of v are the two views of sample i (positives) and all
+// other rows act as negatives, and return a differentiable 1x1 loss.
+//
+//  * InfoNce          — the paper's Eq. 4 (cosine similarity, temperature).
+//  * InfoNceEuclidean — the paper's Eq. 20 (Lemma-2 analysis variant).
+//  * JsdLoss          — Jensen–Shannon MI estimator (InfoGraph, MVGRL).
+//  * SceLoss          — scaled cosine error (GraphMAE; generative, used
+//                       by the Fig. 11 ablation to show where gradient
+//                       contrast does NOT help).
+//  * BootstrapLoss    — BGRL/SGCL's negative-free cosine loss.
+//  * AlignmentLoss    — plain alignment regulariser (Fig. 12(b) ablation).
+
+#ifndef GRADGCL_LOSSES_CONTRASTIVE_H_
+#define GRADGCL_LOSSES_CONTRASTIVE_H_
+
+#include "autograd/ops.h"
+
+namespace gradgcl {
+
+// Loss family tag, used by GradGCL to build the matching gradient
+// features and by the Fig. 11 loss-type ablation.
+enum class LossKind { kInfoNce, kJsd, kSce };
+
+// InfoNCE / NT-Xent with cosine similarity (paper Eq. 4), averaged
+// over both directions (u against v-negatives and vice versa). The
+// denominator ranges over the other samples' opposite-view embeddings
+// (n' != n), as in the paper.
+Variable InfoNce(const Variable& u, const Variable& v, double tau = 0.5);
+
+// InfoNCE with Gaussian / Euclidean similarity (paper Eq. 20):
+//   -Σ_i log [ exp(-|u_i-v_i|²/2) /
+//              (Σ_{j≠i} exp(-|u_i-u_j|²/2) + exp(-|u_i-v_i|²/2)) ] / n.
+// Negatives are within-view, matching the Lemma-2 setting.
+Variable InfoNceEuclidean(const Variable& u, const Variable& v);
+
+// Jensen–Shannon MI lower-bound estimator with a dot-product critic:
+//   E_pos[softplus(-s_ii)] + E_neg[softplus(s_ij)].
+Variable JsdLoss(const Variable& u, const Variable& v);
+
+// Scaled cosine error (1 - cos(u_i, v_i))^gamma, mean over rows.
+Variable SceLoss(const Variable& u, const Variable& v, double gamma = 2.0);
+
+// Bootstrap (BYOL-style) loss: 2 - 2 cos(u_i, v_i), mean over rows.
+// Callers detach the target view.
+Variable BootstrapLoss(const Variable& online, const Variable& target);
+
+// Alignment regulariser: mean |û_i - v̂_i|² on L2-normalised rows.
+Variable AlignmentLoss(const Variable& u, const Variable& v);
+
+// Dispatches on `kind` (SCE and JSD ignore tau).
+Variable ContrastiveLoss(LossKind kind, const Variable& u, const Variable& v,
+                         double tau = 0.5);
+
+// Numerically stable softplus log(1 + e^x), elementwise. Exposed for
+// models that build JSD losses with non-diagonal positive structure
+// (InfoGraph, MVGRL local-global contrast).
+Variable Softplus(const Variable& x);
+
+// JSD local-global loss with an explicit positive mask: scores is the
+// full critic matrix (e.g. nodes x graphs dot products), pos_mask is a
+// 0/1 matrix marking positive pairs; everything else is a negative.
+Variable JsdLossMasked(const Variable& scores, const Matrix& pos_mask);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_LOSSES_CONTRASTIVE_H_

@@ -1,0 +1,42 @@
+#include "losses/metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+double AlignmentMetric(const Matrix& u, const Matrix& v, double alpha) {
+  GRADGCL_CHECK(u.rows() == v.rows() && u.cols() == v.cols());
+  GRADGCL_CHECK(u.rows() > 0 && alpha > 0.0);
+  const Matrix un = RowNormalize(u);
+  const Matrix vn = RowNormalize(v);
+  double total = 0.0;
+  for (int i = 0; i < u.rows(); ++i) {
+    double d2 = 0.0;
+    for (int j = 0; j < u.cols(); ++j) {
+      const double d = un(i, j) - vn(i, j);
+      d2 += d * d;
+    }
+    total += std::pow(std::sqrt(d2), alpha);
+  }
+  return total / u.rows();
+}
+
+double UniformityMetric(const Matrix& u, double t) {
+  GRADGCL_CHECK(u.rows() >= 2 && t > 0.0);
+  const Matrix un = RowNormalize(u);
+  const Matrix d2 = SquaredDistanceMatrix(un, un);
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < u.rows(); ++i) {
+    for (int j = 0; j < u.rows(); ++j) {
+      if (i == j) continue;
+      total += std::exp(-t * d2(i, j));
+      ++count;
+    }
+  }
+  return std::log(total / count);
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,25 @@
+// Representation-quality metrics from Wang & Isola (paper Eqs. 24–25):
+// alignment (expected positive-pair distance) and uniformity (log of
+// the expected Gaussian potential between random pairs). Computed on
+// raw matrices (no gradients) — these instrument Fig. 7's trajectories.
+
+#ifndef GRADGCL_LOSSES_METRICS_H_
+#define GRADGCL_LOSSES_METRICS_H_
+
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+
+// Alignment ℓ_align (Eq. 24): E ||f(x) - f(x')||^alpha over positive
+// pairs (row i of u with row i of v), on L2-normalised embeddings.
+// Lower is better.
+double AlignmentMetric(const Matrix& u, const Matrix& v, double alpha = 2.0);
+
+// Uniformity ℓ_uniform (Eq. 25): log E exp(-t ||f(x) - f(y)||²) over
+// all pairs i != j of rows of u, on L2-normalised embeddings. Lower
+// (more negative) is better.
+double UniformityMetric(const Matrix& u, double t = 2.0);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_LOSSES_METRICS_H_

@@ -1,0 +1,65 @@
+#include "models/bgrl.h"
+
+namespace gradgcl {
+
+Bgrl::Bgrl(const BgrlConfig& config, Rng& rng)
+    : config_(config),
+      online_encoder_(config.encoder, rng),
+      target_encoder_(config.encoder, rng),
+      predictor_({config.encoder.out_dim, config.predictor_dim,
+                  config.encoder.out_dim},
+                 rng),
+      loss_(config.grad_gcl) {
+  GRADGCL_CHECK(config.ema_decay >= 0.0 && config.ema_decay < 1.0);
+  RegisterChild(online_encoder_);
+  RegisterChild(predictor_);
+  // Target starts as an exact copy of the online weights.
+  target_encoder_.LoadState(online_encoder_.StateCopy());
+}
+
+Graph Bgrl::MakeView(const Graph& g, double edge_drop, double feat_mask,
+                     Rng& rng) const {
+  Rng local = rng.Fork();
+  return AttrMask(EdgeDrop(g, edge_drop, local), feat_mask, local);
+}
+
+Variable Bgrl::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> view1 = {MakeView(
+      dataset.graph, config_.edge_drop1, config_.feat_mask1, rng)};
+  const std::vector<Graph> view2 = {MakeView(
+      dataset.graph, config_.edge_drop2, config_.feat_mask2, rng)};
+  const GraphBatch batch1 = MakeBatch(view1);
+  const GraphBatch batch2 = MakeBatch(view2);
+
+  Variable h1 = online_encoder_.ForwardNodes(batch1);
+  Variable h2 = online_encoder_.ForwardNodes(batch2);
+  Variable p1 = predictor_.Forward(h1);
+  Variable p2 = predictor_.Forward(h2);
+  Variable t1 = target_encoder_.ForwardNodes(batch1).Detach();
+  Variable t2 = target_encoder_.ForwardNodes(batch2).Detach();
+
+  Variable lf = ag::ScalarMul(
+      ag::Add(BootstrapLoss(p1, t2), BootstrapLoss(p2, t1)), 0.5);
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  TwoViewBatch views12{p1, t2};
+  TwoViewBatch views21{p2, t1};
+  Variable lg = ag::ScalarMul(
+      ag::Add(loss_.GradientLoss(views12), loss_.GradientLoss(views21)), 0.5);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix Bgrl::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  return online_encoder_.ForwardNodes(MakeBatch(single)).value();
+}
+
+void Bgrl::PostStep() {
+  std::vector<Matrix> target = target_encoder_.StateCopy();
+  EmaUpdate(target, online_encoder_.StateCopy(), config_.ema_decay);
+  target_encoder_.LoadState(target);
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,46 @@
+#include "models/costa.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+Costa::Costa(const CostaConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim}, rng),
+      loss_(config.grad_gcl) {
+  GRADGCL_CHECK(config.sketch_scale > 0.0);
+  RegisterChild(encoder_);
+  RegisterChild(proj_);
+}
+
+Variable Costa::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> view = {AttrMask(
+      EdgeDrop(dataset.graph, config_.edge_drop, rng), config_.feat_mask,
+      rng)};
+  Variable h = encoder_.ForwardNodes(MakeBatch(view));
+
+  // Covariance-preserving feature augmentation: a random near-isometry
+  // of the embedding space, W = I + σ G / sqrt(d).
+  const int d = h.cols();
+  Matrix sketch = Matrix::Identity(d);
+  const double scale = config_.sketch_scale / std::sqrt(static_cast<double>(d));
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) sketch(i, j) += rng.Normal(0.0, scale);
+  }
+  // Right-multiplication by a constant sketch: h W == (W^T h^T)^T; use
+  // MatMul with the sketch wrapped as a constant Variable.
+  Variable h_sketched = ag::MatMul(h, Variable(sketch));
+
+  TwoViewBatch views;
+  views.u = proj_.Forward(h);
+  views.u_prime = proj_.Forward(h_sketched);
+  return loss_(views);
+}
+
+Matrix Costa::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  return encoder_.ForwardNodes(MakeBatch(single)).value();
+}
+
+}  // namespace gradgcl

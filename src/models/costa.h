@@ -1,0 +1,48 @@
+// COSTA (Zhang et al., KDD 2022): covariance-preserving feature
+// augmentation for graph contrastive learning. Instead of perturbing
+// the graph, COSTA augments in *feature space*: the second view is a
+// random sketch of the embedding matrix that approximately preserves
+// its covariance. This implementation realises the single-view COSTA
+// variant: view 2 applies a random near-isometry (I + σG, G Gaussian)
+// to the encoder output before projection.
+
+#ifndef GRADGCL_MODELS_COSTA_H_
+#define GRADGCL_MODELS_COSTA_H_
+
+#include "augment/augment.h"
+#include "core/grad_gcl_loss.h"
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// COSTA hyperparameters.
+struct CostaConfig {
+  EncoderConfig encoder;  // kGcn for the standard setup
+  int proj_dim = 32;
+  // Scale σ of the random sketch I + σG.
+  double sketch_scale = 0.3;
+  // Light graph augmentation applied before encoding (as in COSTA).
+  double edge_drop = 0.2;
+  double feat_mask = 0.1;
+  GradGclConfig grad_gcl;  // weight = 0 reproduces vanilla COSTA
+};
+
+class Costa : public NodeSslModel {
+ public:
+  Costa(const CostaConfig& config, Rng& rng);
+
+  Variable EpochLoss(const NodeDataset& dataset, Rng& rng) override;
+
+  Matrix EmbedNodes(const NodeDataset& dataset) override;
+
+ private:
+  CostaConfig config_;
+  GraphEncoder encoder_;
+  Mlp proj_;
+  GradGclLoss loss_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_COSTA_H_

@@ -1,0 +1,44 @@
+#include "models/dgi.h"
+
+namespace gradgcl {
+
+Dgi::Dgi(const DgiConfig& config, Rng& rng)
+    : config_(config), encoder_(config.encoder, rng) {
+  RegisterChild(encoder_);
+  discriminator_ = AddParameter(
+      Matrix::GlorotUniform(config.encoder.out_dim, config.encoder.out_dim,
+                            rng));
+}
+
+Variable Dgi::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> single = {dataset.graph};
+  const GraphBatch batch = MakeBatch(single);
+  const int n = batch.total_nodes;
+
+  Variable h = encoder_.ForwardNodes(batch);
+  // Graph summary: σ(mean of node embeddings).
+  Variable summary = ag::Sigmoid(ag::SegmentMean(h, batch.segments, 1));
+
+  // Corruption: row-shuffled features through the same encoder.
+  const std::vector<int> perm = rng.Permutation(n);
+  Variable h_corrupt = encoder_.ForwardNodesWithOperator(
+      batch.norm_adj, Variable(batch.features.Gather(perm)));
+
+  // Bilinear scores D(h, s) = h W s^T for every node.
+  Variable ws = ag::MatMulTransB(ag::MatMul(h, discriminator_), summary);
+  Variable ws_corrupt =
+      ag::MatMulTransB(ag::MatMul(h_corrupt, discriminator_), summary);
+
+  // BCE: real nodes -> 1, corrupted -> 0.
+  Variable logits = ag::ConcatRows(ws, ws_corrupt);  // 2n x 1
+  Matrix targets(2 * n, 1, 0.0);
+  for (int i = 0; i < n; ++i) targets(i, 0) = 1.0;
+  return ag::BinaryCrossEntropyWithLogits(logits, targets);
+}
+
+Matrix Dgi::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  return encoder_.ForwardNodes(MakeBatch(single)).value();
+}
+
+}  // namespace gradgcl

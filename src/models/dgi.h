@@ -1,0 +1,37 @@
+// DGI — Deep Graph Infomax (Veličković et al., ICLR 2019), the classic
+// node-level self-supervised baseline of the paper's Table V. A GCN
+// encoder produces node embeddings H; a readout builds the graph
+// summary s; a bilinear discriminator D(h, s) = σ(h^T W s) is trained
+// to tell real nodes from corruption-encoded nodes (row-shuffled
+// features), maximising local-global mutual information.
+
+#ifndef GRADGCL_MODELS_DGI_H_
+#define GRADGCL_MODELS_DGI_H_
+
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// DGI hyperparameters.
+struct DgiConfig {
+  EncoderConfig encoder;  // kGcn for the standard setup
+};
+
+class Dgi : public NodeSslModel {
+ public:
+  Dgi(const DgiConfig& config, Rng& rng);
+
+  Variable EpochLoss(const NodeDataset& dataset, Rng& rng) override;
+
+  Matrix EmbedNodes(const NodeDataset& dataset) override;
+
+ private:
+  DgiConfig config_;
+  GraphEncoder encoder_;
+  Variable discriminator_;  // out_dim x out_dim bilinear form
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_DGI_H_

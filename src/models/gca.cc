@@ -1,0 +1,3 @@
+// GCA is header-only (a thin GRACE subclass); this translation unit
+// exists so the build system has a home for future GCA-specific logic.
+#include "models/gca.h"

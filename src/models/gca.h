@@ -1,0 +1,28 @@
+// GCA (Zhu et al., WWW 2021): graph contrastive learning with
+// adaptive augmentation — GRACE whose edge-dropping probabilities are
+// centrality-aware (edges around low-degree nodes are considered less
+// important and dropped more often). Implemented as GRACE with the
+// adaptive flag forced on; kept as its own type so model tables and
+// factories can name it.
+
+#ifndef GRADGCL_MODELS_GCA_H_
+#define GRADGCL_MODELS_GCA_H_
+
+#include "models/grace.h"
+
+namespace gradgcl {
+
+class Gca : public Grace {
+ public:
+  Gca(GraceConfig config, Rng& rng) : Grace(ForceAdaptive(config), rng) {}
+
+ private:
+  static GraceConfig ForceAdaptive(GraceConfig config) {
+    config.adaptive = true;
+    return config;
+  }
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_GCA_H_

@@ -1,0 +1,67 @@
+#include "models/gcn_supervised.h"
+
+#include "eval/probes.h"
+#include "train/optimizer.h"
+
+namespace gradgcl {
+
+double TrainSupervisedGcn(const NodeDataset& dataset,
+                          const SupervisedGcnConfig& config) {
+  GRADGCL_CHECK(!dataset.train_idx.empty() && !dataset.test_idx.empty());
+  Rng rng(config.seed);
+
+  EncoderConfig enc;
+  enc.kind = EncoderKind::kGcn;
+  enc.in_dim = dataset.graph.feature_dim();
+  enc.hidden_dim = config.hidden_dim;
+  enc.out_dim = config.hidden_dim;
+  GraphEncoder encoder(enc, rng);
+  Linear head(config.hidden_dim, dataset.num_classes, rng);
+
+  std::vector<Variable> params = encoder.parameters();
+  for (const Variable& p : head.parameters()) params.push_back(p);
+  Adam optimizer(params, config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+
+  const std::vector<Graph> single = {dataset.graph};
+  const GraphBatch batch = MakeBatch(single);
+  std::vector<int> train_y, val_y, test_y;
+  for (int i : dataset.train_idx) train_y.push_back(dataset.labels[i]);
+  for (int i : dataset.val_idx) val_y.push_back(dataset.labels[i]);
+  for (int i : dataset.test_idx) test_y.push_back(dataset.labels[i]);
+
+  auto predict = [&](const std::vector<int>& idx) {
+    Variable logits = head.Forward(encoder.ForwardNodes(batch));
+    const Matrix scores = logits.value().Gather(idx);
+    std::vector<int> pred(scores.rows());
+    for (int i = 0; i < scores.rows(); ++i) {
+      int argmax = 0;
+      for (int c = 1; c < scores.cols(); ++c) {
+        if (scores(i, c) > scores(i, argmax)) argmax = c;
+      }
+      pred[i] = argmax;
+    }
+    return pred;
+  };
+
+  double best_val = -1.0;
+  double test_at_best_val = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    Variable h = encoder.ForwardNodes(batch);
+    if (config.dropout > 0.0) h = ag::Dropout(h, config.dropout, rng);
+    Variable logits = ag::GatherRows(head.Forward(h), dataset.train_idx);
+    Backward(ag::SoftmaxCrossEntropy(logits, train_y));
+    optimizer.Step();
+
+    const double val_acc =
+        dataset.val_idx.empty() ? 0.0 : Accuracy(predict(dataset.val_idx),
+                                                 val_y);
+    if (val_acc >= best_val) {
+      best_val = val_acc;
+      test_at_best_val = Accuracy(predict(dataset.test_idx), test_y);
+    }
+  }
+  return test_at_best_val;
+}
+
+}  // namespace gradgcl

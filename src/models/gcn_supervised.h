@@ -1,0 +1,32 @@
+// Supervised GCN node classifier (Kipf & Welling, ICLR 2017) — the
+// "Supervised GCN" reference row of the paper's Table V. Trains a
+// 2-layer GCN end-to-end with cross-entropy on the train mask and
+// early selection on the validation mask.
+
+#ifndef GRADGCL_MODELS_GCN_SUPERVISED_H_
+#define GRADGCL_MODELS_GCN_SUPERVISED_H_
+
+#include "datasets/node_synthetic.h"
+#include "nn/encoders.h"
+
+namespace gradgcl {
+
+// Supervised training hyperparameters.
+struct SupervisedGcnConfig {
+  int hidden_dim = 32;
+  int epochs = 60;
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+  double dropout = 0.2;
+  uint64_t seed = 1;
+};
+
+// Trains a supervised GCN on the dataset's train mask, tracks the best
+// validation accuracy, and returns the test accuracy of the best-on-
+// validation epoch.
+double TrainSupervisedGcn(const NodeDataset& dataset,
+                          const SupervisedGcnConfig& config);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_GCN_SUPERVISED_H_

@@ -1,0 +1,41 @@
+#include "models/grace.h"
+
+namespace gradgcl {
+
+Grace::Grace(const GraceConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim}, rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_);
+  RegisterChild(proj_);
+}
+
+Graph Grace::MakeView(const Graph& g, double edge_drop, double feat_mask,
+                      Rng& rng) const {
+  Graph view = config_.adaptive ? AdaptiveEdgeDrop(g, edge_drop, rng)
+                                : EdgeDrop(g, edge_drop, rng);
+  return AttrMask(view, feat_mask, rng);
+}
+
+TwoViewBatch Grace::EncodeTwoViews(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> view1 = {MakeView(
+      dataset.graph, config_.edge_drop1, config_.feat_mask1, rng)};
+  const std::vector<Graph> view2 = {MakeView(
+      dataset.graph, config_.edge_drop2, config_.feat_mask2, rng)};
+  TwoViewBatch views;
+  views.u = proj_.Forward(encoder_.ForwardNodes(MakeBatch(view1)));
+  views.u_prime = proj_.Forward(encoder_.ForwardNodes(MakeBatch(view2)));
+  return views;
+}
+
+Variable Grace::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  return loss_(EncodeTwoViews(dataset, rng));
+}
+
+Matrix Grace::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  return encoder_.ForwardNodes(MakeBatch(single)).value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,59 @@
+// GRACE (Zhu et al., 2020): deep graph contrastive representation
+// learning at the node level. Two stochastic views of the one big
+// graph (edge removal + feature masking) go through a shared GCN
+// encoder and MLP projector; node i's two views are positives, all
+// other nodes negatives, InfoNCE objective.
+//
+// GCA (Zhu et al., WWW 2021) is the adaptive-augmentation variant
+// (degree-aware edge dropping), realised by the `adaptive` flag and a
+// thin subclass in gca.h.
+
+#ifndef GRADGCL_MODELS_GRACE_H_
+#define GRADGCL_MODELS_GRACE_H_
+
+#include "augment/augment.h"
+#include "core/grad_gcl_loss.h"
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// GRACE hyperparameters.
+struct GraceConfig {
+  EncoderConfig encoder;  // set kind = kGcn for the standard setup
+  int proj_dim = 32;
+  double edge_drop1 = 0.2;
+  double edge_drop2 = 0.4;
+  double feat_mask1 = 0.2;
+  double feat_mask2 = 0.3;
+  // GCA: degree-adaptive edge dropping instead of uniform.
+  bool adaptive = false;
+  GradGclConfig grad_gcl;  // weight = 0 reproduces vanilla GRACE/GCA
+};
+
+class Grace : public NodeSslModel {
+ public:
+  Grace(const GraceConfig& config, Rng& rng);
+
+  // The two projected node views (exposed for instrumentation).
+  TwoViewBatch EncodeTwoViews(const NodeDataset& dataset, Rng& rng);
+
+  Variable EpochLoss(const NodeDataset& dataset, Rng& rng) override;
+
+  Matrix EmbedNodes(const NodeDataset& dataset) override;
+
+  const GraceConfig& config() const { return config_; }
+
+ private:
+  Graph MakeView(const Graph& g, double edge_drop, double feat_mask,
+                 Rng& rng) const;
+
+  GraceConfig config_;
+  GraphEncoder encoder_;
+  Mlp proj_;
+  GradGclLoss loss_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_GRACE_H_

@@ -1,0 +1,39 @@
+#include "models/graph2vec.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+Matrix Graph2VecEmbeddings(const std::vector<Graph>& graphs,
+                           const Graph2VecConfig& config) {
+  GRADGCL_CHECK(config.embedding_dim > 0);
+  Matrix counts = WlFeatures(graphs, config.wl);  // already L2-normalised
+
+  // TF-IDF: down-weight tokens present in most graphs.
+  const int n = counts.rows();
+  const int vocab = counts.cols();
+  std::vector<double> idf(vocab, 0.0);
+  for (int j = 0; j < vocab; ++j) {
+    int docs = 0;
+    for (int i = 0; i < n; ++i) {
+      if (counts(i, j) > 0.0) ++docs;
+    }
+    idf[j] = std::log((1.0 + n) / (1.0 + docs)) + 1.0;
+  }
+  Matrix tfidf = counts;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < vocab; ++j) tfidf(i, j) *= idf[j];
+  }
+
+  // Random Gaussian projection to the embedding dimension.
+  Rng rng(config.seed);
+  Matrix projection = Matrix::RandomNormal(
+      vocab, config.embedding_dim, rng, 0.0,
+      1.0 / std::sqrt(static_cast<double>(config.embedding_dim)));
+  return RowNormalize(MatMul(tfidf, projection));
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,29 @@
+// graph2vec-lite (after Narayanan et al., 2017): unsupervised whole-
+// graph embeddings from WL "documents". The original trains a
+// doc2vec-style skip-gram over rooted-subtree tokens; the established
+// lightweight equivalent — used here — is a TF-IDF weighting of the WL
+// subtree histogram followed by a random Gaussian projection to the
+// embedding dimension (Johnson–Lindenstrauss), which preserves the
+// token-space geometry doc2vec approximates.
+
+#ifndef GRADGCL_MODELS_GRAPH2VEC_H_
+#define GRADGCL_MODELS_GRAPH2VEC_H_
+
+#include "models/wl_kernel.h"
+
+namespace gradgcl {
+
+// graph2vec-lite configuration.
+struct Graph2VecConfig {
+  WlConfig wl;
+  int embedding_dim = 64;
+  uint64_t seed = 7;
+};
+
+// Returns one embedding row per graph.
+Matrix Graph2VecEmbeddings(const std::vector<Graph>& graphs,
+                           const Graph2VecConfig& config);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_GRAPH2VEC_H_

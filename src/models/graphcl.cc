@@ -1,0 +1,53 @@
+#include "models/graphcl.h"
+
+namespace gradgcl {
+
+GraphCl::GraphCl(const GraphClConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim}, rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_);
+  RegisterChild(proj_);
+}
+
+std::pair<AugmentKind, AugmentKind> GraphCl::SampleAugPair(Rng& rng) {
+  if (!config_.random_augs) return {config_.aug1, config_.aug2};
+  const std::vector<AugmentKind> menu = AllAugmentKinds();
+  return {menu[rng.UniformInt(static_cast<int>(menu.size()))],
+          menu[rng.UniformInt(static_cast<int>(menu.size()))]};
+}
+
+TwoViewBatch GraphCl::EncodeTwoViews(const std::vector<Graph>& dataset,
+                                     const std::vector<int>& indices,
+                                     AugmentKind kind1, AugmentKind kind2,
+                                     Rng& rng) {
+  std::vector<Graph> view1;
+  std::vector<Graph> view2;
+  view1.reserve(indices.size());
+  view2.reserve(indices.size());
+  for (int idx : indices) {
+    view1.push_back(Augment(dataset[idx], kind1, config_.aug_strength, rng));
+    view2.push_back(Augment(dataset[idx], kind2, config_.aug_strength, rng));
+  }
+  const GraphBatch batch1 = MakeBatch(view1);
+  const GraphBatch batch2 = MakeBatch(view2);
+  TwoViewBatch views;
+  views.u = proj_.Forward(encoder_.ForwardGraphs(batch1));
+  views.u_prime = proj_.Forward(encoder_.ForwardGraphs(batch2));
+  return views;
+}
+
+Variable GraphCl::BatchLoss(const std::vector<Graph>& dataset,
+                            const std::vector<int>& indices, Rng& rng) {
+  const auto [kind1, kind2] = SampleAugPair(rng);
+  return loss_(EncodeTwoViews(dataset, indices, kind1, kind2, rng));
+}
+
+Matrix GraphCl::EmbedGraphs(const std::vector<Graph>& dataset) {
+  // Downstream tasks use the pre-projection encoder output, as in the
+  // original GraphCL evaluation protocol.
+  return encoder_.ForwardGraphs(MakeBatch(dataset)).value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,53 @@
+#include "models/graphmae.h"
+
+namespace gradgcl {
+
+GraphMae::GraphMae(const GraphMaeConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      decoder_({config.encoder.out_dim, config.encoder.hidden_dim,
+                config.encoder.in_dim},
+               rng),
+      loss_(config.grad_gcl) {
+  GRADGCL_CHECK(config.mask_rate > 0.0 && config.mask_rate < 1.0);
+  RegisterChild(encoder_);
+  RegisterChild(decoder_);
+}
+
+Variable GraphMae::BatchLoss(const std::vector<Graph>& dataset,
+                             const std::vector<int>& indices, Rng& rng) {
+  GraphBatch batch = MakeBatch(dataset, indices);
+  const Matrix original = batch.features;
+
+  // Mask: zero out the feature rows of a random node subset.
+  std::vector<int> masked;
+  for (int i = 0; i < batch.total_nodes; ++i) {
+    if (rng.Bernoulli(config_.mask_rate)) masked.push_back(i);
+  }
+  if (masked.empty()) masked.push_back(rng.UniformInt(batch.total_nodes));
+  for (int i : masked) {
+    for (int j = 0; j < batch.features.cols(); ++j) batch.features(i, j) = 0.0;
+  }
+
+  Variable embedded = encoder_.ForwardNodes(batch);
+  Variable reconstructed = decoder_.Forward(embedded);
+  Variable recon_masked = ag::GatherRows(reconstructed, masked);
+  Variable target_masked = Variable(original.Gather(masked));
+
+  Variable lf = SceLoss(recon_masked, target_masked, config_.sce_gamma);
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  // Fig. 11 experiment: gradient features of the SCE loss on
+  // (reconstruction, target) pairs, contrasted with InfoNCE.
+  TwoViewBatch views{recon_masked, target_masked};
+  Variable lg = loss_.GradientLoss(views);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix GraphMae::EmbedGraphs(const std::vector<Graph>& dataset) {
+  return encoder_.ForwardGraphs(MakeBatch(dataset)).value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,47 @@
+// GraphMAE (Hou et al., KDD 2022): generative self-supervised masked
+// graph autoencoder. Node features are masked, a GNN encoder embeds
+// the masked graph, a decoder reconstructs the masked features, and
+// the scaled cosine error (SCE) penalises reconstruction.
+//
+// GraphMAE is not a contrastive model; it appears in this library for
+// the paper's Fig. 11 loss-type ablation: plugging GradGCL's gradient
+// weight into the SCE loss *degrades* performance because SCE's
+// gradient features carry no negative-pair structure. The grad_gcl
+// config reproduces exactly that experiment.
+
+#ifndef GRADGCL_MODELS_GRAPHMAE_H_
+#define GRADGCL_MODELS_GRAPHMAE_H_
+
+#include "core/grad_gcl_loss.h"
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// GraphMAE hyperparameters.
+struct GraphMaeConfig {
+  EncoderConfig encoder;
+  double mask_rate = 0.3;
+  double sce_gamma = 2.0;
+  GradGclConfig grad_gcl;  // loss must be kSce; weight 0 = vanilla
+};
+
+class GraphMae : public GraphSslModel {
+ public:
+  GraphMae(const GraphMaeConfig& config, Rng& rng);
+
+  Variable BatchLoss(const std::vector<Graph>& dataset,
+                     const std::vector<int>& indices, Rng& rng) override;
+
+  Matrix EmbedGraphs(const std::vector<Graph>& dataset) override;
+
+ private:
+  GraphMaeConfig config_;
+  GraphEncoder encoder_;
+  Mlp decoder_;
+  GradGclLoss loss_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_GRAPHMAE_H_

@@ -1,0 +1,52 @@
+#include "models/infograph.h"
+
+namespace gradgcl {
+
+InfoGraphModel::InfoGraphModel(const InfoGraphConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      node_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                 rng),
+      graph_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                  rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_);
+  RegisterChild(node_proj_);
+  RegisterChild(graph_proj_);
+}
+
+Variable InfoGraphModel::BatchLoss(const std::vector<Graph>& dataset,
+                                   const std::vector<int>& indices,
+                                   Rng& rng) {
+  (void)rng;  // InfoGraph's base loss is deterministic given the batch.
+  const GraphBatch batch = MakeBatch(dataset, indices);
+  GraphEncoder::Output enc = encoder_.Forward(batch);
+  Variable pn = node_proj_.Forward(enc.nodes);    // N x d
+  Variable pg = graph_proj_.Forward(enc.graphs);  // G x d
+
+  // Local-global JSD: scores(i, g) = pn_i · pg_g, positives where node
+  // i belongs to graph g.
+  Variable scores = ag::MatMulTransB(pn, pg);
+  Matrix pos_mask(batch.total_nodes, batch.num_graphs, 0.0);
+  for (int i = 0; i < batch.total_nodes; ++i) {
+    pos_mask(i, batch.segments[i]) = 1.0;
+  }
+  Variable lf = JsdLossMasked(scores, pos_mask);
+
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  // GradGCL views: graph embedding vs mean of its nodes' projections.
+  TwoViewBatch views;
+  views.u = pg;
+  views.u_prime = ag::SegmentMean(pn, batch.segments, batch.num_graphs);
+  Variable lg = loss_.GradientLoss(views);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix InfoGraphModel::EmbedGraphs(const std::vector<Graph>& dataset) {
+  return encoder_.ForwardGraphs(MakeBatch(dataset)).value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,50 @@
+// InfoGraph (Sun et al., ICLR 2020): graph-level representation
+// learning by maximising mutual information between a graph's
+// embedding and the embeddings of its own nodes (patches), with a JSD
+// estimator — positives are (node, own graph) pairs, negatives are
+// (node, other graph) pairs.
+//
+// GradGCL plug-in adaptation (documented in DESIGN.md): InfoGraph is
+// not a two-view model, so the gradient module contrasts the pair
+// (projected graph embedding, mean of the graph's projected node
+// embeddings) — exactly InfoGraph's positive-pair structure lifted to
+// the graph level, giving Eq. 6 a well-defined (u, u') input.
+
+#ifndef GRADGCL_MODELS_INFOGRAPH_H_
+#define GRADGCL_MODELS_INFOGRAPH_H_
+
+#include "core/grad_gcl_loss.h"
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// InfoGraph hyperparameters.
+struct InfoGraphConfig {
+  EncoderConfig encoder;
+  int proj_dim = 32;
+  GradGclConfig grad_gcl;  // weight = 0 reproduces vanilla InfoGraph
+};
+
+class InfoGraphModel : public GraphSslModel {
+ public:
+  InfoGraphModel(const InfoGraphConfig& config, Rng& rng);
+
+  Variable BatchLoss(const std::vector<Graph>& dataset,
+                     const std::vector<int>& indices, Rng& rng) override;
+
+  Matrix EmbedGraphs(const std::vector<Graph>& dataset) override;
+
+  const InfoGraphConfig& config() const { return config_; }
+
+ private:
+  InfoGraphConfig config_;
+  GraphEncoder encoder_;
+  Mlp node_proj_;
+  Mlp graph_proj_;
+  GradGclLoss loss_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_INFOGRAPH_H_

@@ -1,0 +1,65 @@
+#include "models/joao.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+Joao::Joao(const JoaoConfig& config, Rng& rng)
+    : GraphCl(config.graphcl, rng),
+      joao_config_(config),
+      menu_(AllAugmentKinds()) {
+  GRADGCL_CHECK(config.gamma > 0.0);
+  GRADGCL_CHECK(config.uniform_mix >= 0.0 && config.uniform_mix <= 1.0);
+  const int k = static_cast<int>(menu_.size());
+  pair_probs_ = Matrix(k, k, 1.0 / (k * k));
+}
+
+std::pair<AugmentKind, AugmentKind> Joao::SampleAugPair(Rng& rng) {
+  // Inverse-CDF sample from the pair distribution.
+  const int k = pair_probs_.rows();
+  double r = rng.Uniform();
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      r -= pair_probs_(i, j);
+      if (r <= 0.0) {
+        last_pair_i_ = i;
+        last_pair_j_ = j;
+        return {menu_[i], menu_[j]};
+      }
+    }
+  }
+  last_pair_i_ = k - 1;
+  last_pair_j_ = k - 1;
+  return {menu_[k - 1], menu_[k - 1]};
+}
+
+void Joao::UpdateDistribution() {
+  if (!has_observation_) return;
+  const int k = pair_probs_.rows();
+  // Exponentiated gradient: boost the sampled pair in proportion to
+  // its observed loss (the min-max "hard view" principle), then mix
+  // toward uniform and renormalise.
+  pair_probs_(last_pair_i_, last_pair_j_) *=
+      std::exp(joao_config_.gamma * last_loss_);
+  double total = pair_probs_.Sum();
+  const double uniform = 1.0 / (k * k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      pair_probs_(i, j) = (1.0 - joao_config_.uniform_mix) *
+                              (pair_probs_(i, j) / total) +
+                          joao_config_.uniform_mix * uniform;
+    }
+  }
+  has_observation_ = false;
+}
+
+Variable Joao::BatchLoss(const std::vector<Graph>& dataset,
+                         const std::vector<int>& indices, Rng& rng) {
+  UpdateDistribution();
+  Variable loss = GraphCl::BatchLoss(dataset, indices, rng);
+  last_loss_ = loss.scalar();
+  has_observation_ = true;
+  return loss;
+}
+
+}  // namespace gradgcl

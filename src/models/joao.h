@@ -1,0 +1,53 @@
+// JOAO (You et al., ICML 2021): GraphCL with joint augmentation
+// optimisation. Instead of sampling augmentation pairs uniformly, JOAO
+// maintains a distribution over pairs and adapts it with a min-max
+// rule — pairs that currently yield *higher* contrastive loss (harder
+// views) get more probability mass, smoothed toward uniform. This
+// implementation realises the practical variant: an exponentiated-
+// gradient update on the observed per-pair losses.
+
+#ifndef GRADGCL_MODELS_JOAO_H_
+#define GRADGCL_MODELS_JOAO_H_
+
+#include "models/graphcl.h"
+
+namespace gradgcl {
+
+// JOAO hyperparameters (extends GraphCL's).
+struct JoaoConfig {
+  GraphClConfig graphcl;
+  // Step size of the exponentiated-gradient distribution update.
+  double gamma = 0.1;
+  // Mixing weight toward the uniform distribution (regularisation).
+  double uniform_mix = 0.3;
+};
+
+class Joao : public GraphCl {
+ public:
+  Joao(const JoaoConfig& config, Rng& rng);
+
+  Variable BatchLoss(const std::vector<Graph>& dataset,
+                     const std::vector<int>& indices, Rng& rng) override;
+
+  // Current distribution over augmentation pairs (row-major over the
+  // kind menu), exposed for tests.
+  const Matrix& pair_distribution() const { return pair_probs_; }
+
+ private:
+  std::pair<AugmentKind, AugmentKind> SampleAugPair(Rng& rng) override;
+
+  // Exponentiated-gradient update from the last observed loss.
+  void UpdateDistribution();
+
+  JoaoConfig joao_config_;
+  std::vector<AugmentKind> menu_;
+  Matrix pair_probs_;      // menu x menu, sums to 1
+  int last_pair_i_ = 0;
+  int last_pair_j_ = 0;
+  double last_loss_ = 0.0;
+  bool has_observation_ = false;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_JOAO_H_

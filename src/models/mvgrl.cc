@@ -1,0 +1,199 @@
+#include "models/mvgrl.h"
+
+
+#include "tensor/ops.h"
+namespace gradgcl {
+
+namespace {
+
+// Local-global JSD across both view directions, given node and graph
+// projections of each view and the node→graph segment map.
+Variable CrossViewJsd(const Variable& nodes_a, const Variable& graphs_a,
+                      const Variable& nodes_b, const Variable& graphs_b,
+                      const std::vector<int>& segments, int num_graphs) {
+  Matrix pos_mask(nodes_a.rows(), num_graphs, 0.0);
+  for (int i = 0; i < nodes_a.rows(); ++i) pos_mask(i, segments[i]) = 1.0;
+  Variable scores_ab = ag::MatMulTransB(nodes_a, graphs_b);
+  Variable scores_ba = ag::MatMulTransB(nodes_b, graphs_a);
+  return ag::ScalarMul(ag::Add(JsdLossMasked(scores_ab, pos_mask),
+                               JsdLossMasked(scores_ba, pos_mask)),
+                       0.5);
+}
+
+}  // namespace
+
+SparseMatrix BatchDiffusionOperator(const std::vector<Graph>& dataset,
+                                    const std::vector<int>& indices,
+                                    double alpha) {
+  int total = 0;
+  for (int idx : indices) total += dataset[idx].num_nodes;
+  std::vector<Triplet> triplets;
+  int offset = 0;
+  for (int idx : indices) {
+    const Graph& g = dataset[idx];
+    const Matrix ppr = PprDiffusion(g, alpha);
+    const SparseMatrix sparse = SparsifyDiffusion(ppr);
+    for (int r = 0; r < sparse.rows(); ++r) {
+      for (int k = sparse.row_offsets()[r]; k < sparse.row_offsets()[r + 1];
+           ++k) {
+        triplets.push_back(
+            {offset + r, offset + sparse.col_indices()[k], sparse.values()[k]});
+      }
+    }
+    offset += g.num_nodes;
+  }
+  return SparseMatrix(total, total, std::move(triplets));
+}
+
+MvgrlGraph::MvgrlGraph(const MvgrlConfig& config, Rng& rng)
+    : config_(config),
+      encoder_adj_(config.encoder, rng),
+      encoder_diff_(config.encoder, rng),
+      node_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                 rng),
+      graph_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                  rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_adj_);
+  RegisterChild(encoder_diff_);
+  RegisterChild(node_proj_);
+  RegisterChild(graph_proj_);
+}
+
+Variable MvgrlGraph::BatchLoss(const std::vector<Graph>& dataset,
+                               const std::vector<int>& indices, Rng& rng) {
+  (void)rng;  // MVGRL's views are deterministic.
+  const GraphBatch batch = MakeBatch(dataset, indices);
+  const SparseMatrix diffusion =
+      BatchDiffusionOperator(dataset, indices, config_.ppr_alpha);
+
+  Variable nodes_a = encoder_adj_.ForwardNodes(batch);
+  Variable nodes_b = encoder_diff_.ForwardNodesWithOperator(
+      diffusion, Variable(batch.features));
+  Variable graphs_a = Readout(nodes_a, batch.segments, batch.num_graphs,
+                              config_.encoder.readout);
+  Variable graphs_b = Readout(nodes_b, batch.segments, batch.num_graphs,
+                              config_.encoder.readout);
+
+  Variable pn_a = node_proj_.Forward(nodes_a);
+  Variable pn_b = node_proj_.Forward(nodes_b);
+  Variable pg_a = graph_proj_.Forward(graphs_a);
+  Variable pg_b = graph_proj_.Forward(graphs_b);
+
+  Variable lf = CrossViewJsd(pn_a, pg_a, pn_b, pg_b, batch.segments,
+                             batch.num_graphs);
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  TwoViewBatch views;
+  views.u = pg_a;
+  views.u_prime = pg_b;
+  Variable lg = loss_.GradientLoss(views);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix MvgrlGraph::EmbedGraphs(const std::vector<Graph>& dataset) {
+  std::vector<int> all(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) all[i] = static_cast<int>(i);
+  const GraphBatch batch = MakeBatch(dataset);
+  const SparseMatrix diffusion =
+      BatchDiffusionOperator(dataset, all, config_.ppr_alpha);
+  Variable nodes_a = encoder_adj_.ForwardNodes(batch);
+  Variable nodes_b = encoder_diff_.ForwardNodesWithOperator(
+      diffusion, Variable(batch.features));
+  Variable graphs_a = Readout(nodes_a, batch.segments, batch.num_graphs,
+                              config_.encoder.readout);
+  Variable graphs_b = Readout(nodes_b, batch.segments, batch.num_graphs,
+                              config_.encoder.readout);
+  // Downstream embedding: sum of the two views' readouts.
+  return graphs_a.value() + graphs_b.value();
+}
+
+MvgrlNode::MvgrlNode(const MvgrlConfig& config, Rng& rng)
+    : config_(config),
+      encoder_adj_(config.encoder, rng),
+      encoder_diff_(config.encoder, rng),
+      node_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                 rng),
+      graph_proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim},
+                  rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_adj_);
+  RegisterChild(encoder_diff_);
+  RegisterChild(node_proj_);
+  RegisterChild(graph_proj_);
+}
+
+const SparseMatrix& MvgrlNode::DiffusionFor(const NodeDataset& dataset) {
+  if (cached_graph_ != &dataset.graph) {
+    cached_diffusion_ = SparsifyDiffusion(
+        PprDiffusion(dataset.graph, config_.ppr_alpha), 1e-3);
+    cached_graph_ = &dataset.graph;
+  }
+  return cached_diffusion_;
+}
+
+Variable MvgrlNode::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> single = {dataset.graph};
+  const GraphBatch batch = MakeBatch(single);
+  const SparseMatrix& diffusion = DiffusionFor(dataset);
+  const int n = batch.total_nodes;
+
+  Variable nodes_a = encoder_adj_.ForwardNodes(batch);
+  Variable nodes_b = encoder_diff_.ForwardNodesWithOperator(
+      diffusion, Variable(batch.features));
+  Variable graphs_a =
+      Readout(nodes_a, batch.segments, 1, config_.encoder.readout);
+  Variable graphs_b =
+      Readout(nodes_b, batch.segments, 1, config_.encoder.readout);
+
+  // DGI-style corruption: row-shuffled features provide the negative
+  // nodes for the local-global contrast on a single graph.
+  const std::vector<int> perm = rng.Permutation(n);
+  Variable corrupted(batch.features.Gather(perm));
+  Variable neg_a = encoder_adj_.ForwardNodesWithOperator(batch.norm_adj,
+                                                         corrupted);
+  Variable neg_b =
+      encoder_diff_.ForwardNodesWithOperator(diffusion, corrupted);
+
+  Variable pn_a = node_proj_.Forward(nodes_a);
+  Variable pn_b = node_proj_.Forward(nodes_b);
+  Variable pneg_a = node_proj_.Forward(neg_a);
+  Variable pneg_b = node_proj_.Forward(neg_b);
+  Variable pg_a = graph_proj_.Forward(graphs_a);
+  Variable pg_b = graph_proj_.Forward(graphs_b);
+
+  // Stack [real; corrupted] nodes; the first n rows are positives.
+  Matrix pos_mask(2 * n, 1, 0.0);
+  for (int i = 0; i < n; ++i) pos_mask(i, 0) = 1.0;
+  Variable scores_ab =
+      ag::MatMulTransB(ag::ConcatRows(pn_a, pneg_a), pg_b);  // 2n x 1
+  Variable scores_ba =
+      ag::MatMulTransB(ag::ConcatRows(pn_b, pneg_b), pg_a);
+  Variable lf = ag::ScalarMul(ag::Add(JsdLossMasked(scores_ab, pos_mask),
+                                      JsdLossMasked(scores_ba, pos_mask)),
+                              0.5);
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  // Node-level gradient views: the two views' node projections.
+  TwoViewBatch views;
+  views.u = pn_a;
+  views.u_prime = pn_b;
+  Variable lg = loss_.GradientLoss(views);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix MvgrlNode::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  const GraphBatch batch = MakeBatch(single);
+  const SparseMatrix& diffusion = DiffusionFor(dataset);
+  Variable nodes_a = encoder_adj_.ForwardNodes(batch);
+  Variable nodes_b = encoder_diff_.ForwardNodesWithOperator(
+      diffusion, Variable(batch.features));
+  return nodes_a.value() + nodes_b.value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,134 @@
+#include "models/node2vec.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+std::vector<int> SampleNode2VecWalk(const Graph& g, const CsrAdjacency& csr,
+                                    int start, const Node2VecConfig& config,
+                                    Rng& rng) {
+  std::vector<int> walk = {start};
+  int prev = -1;
+  int current = start;
+  for (int step = 1; step < config.walk_length; ++step) {
+    const int begin = csr.offsets[current];
+    const int end = csr.offsets[current + 1];
+    if (begin == end) break;  // dead end
+    int next;
+    if (prev < 0 || (config.p == 1.0 && config.q == 1.0)) {
+      next = csr.neighbors[begin + rng.UniformInt(end - begin)];
+    } else {
+      // Second-order bias: weight 1/p for returning to prev, 1 for
+      // neighbours of prev, 1/q otherwise. Rejection sampling keeps
+      // this O(deg) without precomputed alias tables (graphs are small).
+      const double max_w =
+          std::max({1.0, 1.0 / config.p, 1.0 / config.q});
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int candidate = csr.neighbors[begin + rng.UniformInt(end - begin)];
+        double w;
+        if (candidate == prev) {
+          w = 1.0 / config.p;
+        } else if (HasEdge(g, candidate, prev)) {
+          w = 1.0;
+        } else {
+          w = 1.0 / config.q;
+        }
+        if (rng.Uniform() * max_w <= w) {
+          next = candidate;
+          goto accepted;
+        }
+      }
+      next = csr.neighbors[begin + rng.UniformInt(end - begin)];
+    accepted:;
+    }
+    walk.push_back(next);
+    prev = current;
+    current = next;
+  }
+  return walk;
+}
+
+Matrix Node2VecEmbeddings(const Graph& g, const Node2VecConfig& config) {
+  GRADGCL_CHECK(g.num_nodes > 0);
+  GRADGCL_CHECK(config.dim > 0 && config.walk_length >= 2);
+  GRADGCL_CHECK(config.p > 0.0 && config.q > 0.0);
+  Rng rng(config.seed);
+  const CsrAdjacency csr = BuildCsr(g);
+
+  // Input (embedding) and output (context) matrices, word2vec-style.
+  Matrix emb = Matrix::RandomUniform(g.num_nodes, config.dim, rng, -0.5,
+                                     0.5);
+  emb *= 1.0 / config.dim;
+  Matrix ctx = Matrix::Zeros(g.num_nodes, config.dim);
+
+  // Walk corpus.
+  std::vector<std::vector<int>> corpus;
+  for (int rep = 0; rep < config.walks_per_node; ++rep) {
+    for (int v = 0; v < g.num_nodes; ++v) {
+      corpus.push_back(SampleNode2VecWalk(g, csr, v, config, rng));
+    }
+  }
+
+  // SGNS: for each (center, context) pair within the window, one
+  // positive update and `negatives` uniform negative updates.
+  const int d = config.dim;
+  std::vector<double> grad_center(d);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(corpus);
+    for (const std::vector<int>& walk : corpus) {
+      for (size_t i = 0; i < walk.size(); ++i) {
+        const int center = walk[i];
+        const size_t lo = i >= static_cast<size_t>(config.window)
+                              ? i - config.window
+                              : 0;
+        const size_t hi =
+            std::min(walk.size() - 1, i + config.window);
+        for (size_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          // One positive and `negatives` negative target nodes.
+          for (int s = 0; s <= config.negatives; ++s) {
+            const int target =
+                s == 0 ? walk[j] : rng.UniformInt(g.num_nodes);
+            const double label = s == 0 ? 1.0 : 0.0;
+            double dot = 0.0;
+            for (int k = 0; k < d; ++k) dot += emb(center, k) * ctx(target, k);
+            const double score = 1.0 / (1.0 + std::exp(-dot));
+            const double coeff = config.lr * (label - score);
+            for (int k = 0; k < d; ++k) {
+              grad_center[k] += coeff * ctx(target, k);
+              ctx(target, k) += coeff * emb(center, k);
+            }
+          }
+          for (int k = 0; k < d; ++k) emb(center, k) += grad_center[k];
+        }
+      }
+    }
+  }
+  return emb;
+}
+
+Matrix DeepWalkEmbeddings(const Graph& g, Node2VecConfig config) {
+  config.p = 1.0;
+  config.q = 1.0;
+  return Node2VecEmbeddings(g, config);
+}
+
+Matrix Node2VecGraphEmbeddings(const std::vector<Graph>& graphs,
+                               const Node2VecConfig& config) {
+  GRADGCL_CHECK(!graphs.empty());
+  Matrix out(static_cast<int>(graphs.size()), config.dim);
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    Node2VecConfig local = config;
+    local.seed = config.seed + i;  // independent stream per graph
+    const Matrix emb = Node2VecEmbeddings(graphs[i], local);
+    const Matrix mean = ColMean(emb);
+    out.SetRow(static_cast<int>(i), mean);
+  }
+  return RowNormalize(out);
+}
+
+}  // namespace gradgcl

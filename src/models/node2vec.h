@@ -1,0 +1,52 @@
+// node2vec (Grover & Leskovec, KDD 2016) and DeepWalk (Perozzi et al.,
+// KDD 2014) — random-walk skip-gram baselines of the paper's Tables IV
+// and V. Biased second-order random walks generate node "sentences";
+// skip-gram with negative sampling (SGNS) trains node embeddings with
+// plain hand-rolled SGD updates (the classic word2vec recipe — no
+// autograd needed at this scale).
+//
+// DeepWalk is node2vec with p = q = 1 (unbiased walks).
+
+#ifndef GRADGCL_MODELS_NODE2VEC_H_
+#define GRADGCL_MODELS_NODE2VEC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// node2vec hyperparameters.
+struct Node2VecConfig {
+  int dim = 32;
+  int walk_length = 20;
+  int walks_per_node = 4;
+  int window = 4;
+  // Return / in-out bias parameters of the second-order walk.
+  double p = 1.0;
+  double q = 1.0;
+  int negatives = 3;   // negative samples per positive pair
+  int epochs = 2;      // passes over the walk corpus
+  double lr = 0.025;
+  uint64_t seed = 5;
+};
+
+// Node embeddings (num_nodes x dim) of one graph.
+Matrix Node2VecEmbeddings(const Graph& g, const Node2VecConfig& config);
+
+// DeepWalk = node2vec with p = q = 1.
+Matrix DeepWalkEmbeddings(const Graph& g, Node2VecConfig config);
+
+// Graph-level embeddings: mean of the graph's node2vec node vectors
+// (the protocol behind the node2vec row of Table IV).
+Matrix Node2VecGraphEmbeddings(const std::vector<Graph>& graphs,
+                               const Node2VecConfig& config);
+
+// Sampled biased random walk starting at `start` (exposed for tests).
+std::vector<int> SampleNode2VecWalk(const Graph& g, const CsrAdjacency& csr,
+                                    int start, const Node2VecConfig& config,
+                                    Rng& rng);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_NODE2VEC_H_

@@ -1,0 +1,49 @@
+#include "models/sgcl.h"
+
+namespace gradgcl {
+
+Sgcl::Sgcl(const SgclConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      predictor_({config.encoder.out_dim, config.predictor_dim,
+                  config.encoder.out_dim},
+                 rng),
+      loss_(config.grad_gcl) {
+  RegisterChild(encoder_);
+  RegisterChild(predictor_);
+}
+
+Variable Sgcl::EpochLoss(const NodeDataset& dataset, Rng& rng) {
+  const std::vector<Graph> view1 = {AttrMask(
+      EdgeDrop(dataset.graph, config_.edge_drop, rng), config_.feat_mask,
+      rng)};
+  const std::vector<Graph> view2 = {AttrMask(
+      EdgeDrop(dataset.graph, config_.edge_drop, rng), config_.feat_mask,
+      rng)};
+  Variable h1 = encoder_.ForwardNodes(MakeBatch(view1));
+  Variable h2 = encoder_.ForwardNodes(MakeBatch(view2));
+  Variable p1 = predictor_.Forward(h1);
+  Variable p2 = predictor_.Forward(h2);
+  // Stop-gradient target branches (the SGCL simplification of BGRL).
+  Variable t1 = h1.Detach();
+  Variable t2 = h2.Detach();
+
+  Variable lf = ag::ScalarMul(
+      ag::Add(BootstrapLoss(p1, t2), BootstrapLoss(p2, t1)), 0.5);
+  const double a = config_.grad_gcl.weight;
+  if (a == 0.0) return lf;
+
+  TwoViewBatch views12{p1, t2};
+  TwoViewBatch views21{p2, t1};
+  Variable lg = ag::ScalarMul(
+      ag::Add(loss_.GradientLoss(views12), loss_.GradientLoss(views21)), 0.5);
+  if (a == 1.0) return lg;
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
+}
+
+Matrix Sgcl::EmbedNodes(const NodeDataset& dataset) {
+  const std::vector<Graph> single = {dataset.graph};
+  return encoder_.ForwardNodes(MakeBatch(single)).value();
+}
+
+}  // namespace gradgcl

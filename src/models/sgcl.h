@@ -1,0 +1,42 @@
+// SGCL (Sun et al., 2023): "Rethinking and Simplifying Bootstrapped
+// Graph Latents". Strips BGRL down: no EMA target network — a single
+// encoder with a predictor head and stop-gradient on the target branch
+// across two augmented views.
+
+#ifndef GRADGCL_MODELS_SGCL_H_
+#define GRADGCL_MODELS_SGCL_H_
+
+#include "augment/augment.h"
+#include "core/grad_gcl_loss.h"
+#include "nn/encoders.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+
+// SGCL hyperparameters.
+struct SgclConfig {
+  EncoderConfig encoder;  // kGcn for the standard setup
+  int predictor_dim = 32;
+  double edge_drop = 0.3;
+  double feat_mask = 0.2;
+  GradGclConfig grad_gcl;  // weight = 0 reproduces vanilla SGCL
+};
+
+class Sgcl : public NodeSslModel {
+ public:
+  Sgcl(const SgclConfig& config, Rng& rng);
+
+  Variable EpochLoss(const NodeDataset& dataset, Rng& rng) override;
+
+  Matrix EmbedNodes(const NodeDataset& dataset) override;
+
+ private:
+  SgclConfig config_;
+  GraphEncoder encoder_;
+  Mlp predictor_;
+  GradGclLoss loss_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_SGCL_H_

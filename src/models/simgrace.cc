@@ -1,0 +1,54 @@
+#include "models/simgrace.h"
+
+namespace gradgcl {
+
+SimGrace::SimGrace(const SimGraceConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      perturbed_encoder_(config.encoder, rng),
+      proj_({config.encoder.out_dim, config.proj_dim, config.proj_dim}, rng),
+      loss_(config.grad_gcl) {
+  GRADGCL_CHECK(config.perturb_magnitude >= 0.0);
+  RegisterChild(encoder_);
+  RegisterChild(proj_);
+}
+
+TwoViewBatch SimGrace::EncodeTwoViews(const std::vector<Graph>& dataset,
+                                      const std::vector<int>& indices,
+                                      Rng& rng, bool project) {
+  std::vector<Graph> batch_graphs;
+  batch_graphs.reserve(indices.size());
+  for (int idx : indices) batch_graphs.push_back(dataset[idx]);
+  const GraphBatch batch = MakeBatch(batch_graphs);
+
+  // View 1: online encoder.
+  Variable h1 = encoder_.ForwardGraphs(batch);
+
+  // View 2: perturbed copy of the online weights; its output is a
+  // stochastic constant for the optimiser (gradients flow through the
+  // online path only), hence the detach.
+  perturbed_encoder_.LoadState(
+      PerturbState(encoder_.StateCopy(), config_.perturb_magnitude, rng));
+  Variable h2 = perturbed_encoder_.ForwardGraphs(batch).Detach();
+
+  TwoViewBatch views;
+  if (project) {
+    views.u = proj_.Forward(h1);
+    views.u_prime = proj_.Forward(h2);
+  } else {
+    views.u = h1;
+    views.u_prime = h2;
+  }
+  return views;
+}
+
+Variable SimGrace::BatchLoss(const std::vector<Graph>& dataset,
+                             const std::vector<int>& indices, Rng& rng) {
+  return loss_(EncodeTwoViews(dataset, indices, rng));
+}
+
+Matrix SimGrace::EmbedGraphs(const std::vector<Graph>& dataset) {
+  return encoder_.ForwardGraphs(MakeBatch(dataset)).value();
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,71 @@
+#include "models/wl_kernel.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+namespace {
+
+// FNV-1a over a sequence of ints.
+uint64_t HashSequence(const std::vector<uint64_t>& seq) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t v : seq) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+// Initial label: argmax of the node's feature row.
+uint64_t InitialLabel(const Graph& g, int node) {
+  int argmax = 0;
+  for (int j = 1; j < g.feature_dim(); ++j) {
+    if (g.features(node, j) > g.features(node, argmax)) argmax = j;
+  }
+  return static_cast<uint64_t>(argmax);
+}
+
+}  // namespace
+
+Matrix WlFeatures(const std::vector<Graph>& graphs, const WlConfig& config) {
+  GRADGCL_CHECK(config.iterations >= 0 && config.feature_dim > 0);
+  Matrix features(static_cast<int>(graphs.size()), config.feature_dim, 0.0);
+
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    const CsrAdjacency csr = BuildCsr(g);
+    std::vector<uint64_t> labels(g.num_nodes);
+    for (int v = 0; v < g.num_nodes; ++v) labels[v] = InitialLabel(g, v);
+
+    auto accumulate = [&](const std::vector<uint64_t>& lab, uint64_t salt) {
+      for (int v = 0; v < g.num_nodes; ++v) {
+        const uint64_t h = HashSequence({lab[v], salt});
+        features(static_cast<int>(gi),
+                 static_cast<int>(h % config.feature_dim)) += 1.0;
+      }
+    };
+
+    accumulate(labels, /*salt=*/0);
+    for (int it = 1; it <= config.iterations; ++it) {
+      std::vector<uint64_t> next(g.num_nodes);
+      for (int v = 0; v < g.num_nodes; ++v) {
+        std::vector<uint64_t> neigh;
+        for (int k = csr.offsets[v]; k < csr.offsets[v + 1]; ++k) {
+          neigh.push_back(labels[csr.neighbors[k]]);
+        }
+        std::sort(neigh.begin(), neigh.end());
+        neigh.insert(neigh.begin(), labels[v]);
+        next[v] = HashSequence(neigh);
+      }
+      labels.swap(next);
+      accumulate(labels, /*salt=*/static_cast<uint64_t>(it));
+    }
+  }
+  return RowNormalize(features);
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,31 @@
+// Weisfeiler–Lehman subtree features (Shervashidze et al., JMLR 2011)
+// — the classic graph-kernel baseline of Table IV. Node labels start
+// from the argmax feature (degree bucket in our datasets) and are
+// iteratively refined by hashing each node's (label, sorted neighbour
+// labels); graphs are represented by hashed label histograms, on which
+// a linear SVM is the WL-subtree kernel machine.
+
+#ifndef GRADGCL_MODELS_WL_KERNEL_H_
+#define GRADGCL_MODELS_WL_KERNEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gradgcl {
+
+// WL feature extractor configuration.
+struct WlConfig {
+  int iterations = 3;
+  // Histogram width; refined labels are hashed into this many buckets.
+  int feature_dim = 256;
+};
+
+// Returns the graphs' WL subtree histograms, one row per graph,
+// L2-normalised (so a linear kernel approximates the normalised WL
+// kernel).
+Matrix WlFeatures(const std::vector<Graph>& graphs, const WlConfig& config);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_MODELS_WL_KERNEL_H_

@@ -1,0 +1,101 @@
+#include "nn/encoders.h"
+
+namespace gradgcl {
+
+GraphEncoder::GraphEncoder(const EncoderConfig& config, Rng& rng)
+    : config_(config) {
+  GRADGCL_CHECK(config.num_layers >= 1);
+  GRADGCL_CHECK(config.in_dim > 0 && config.hidden_dim > 0 &&
+                config.out_dim > 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int in = l == 0 ? config.in_dim : config.hidden_dim;
+    const int out = l == config.num_layers - 1 ? config.out_dim
+                                               : config.hidden_dim;
+    if (config.kind == EncoderKind::kGcn) {
+      gcn_layers_.emplace_back(in, out, rng);
+    } else {
+      gin_layers_.emplace_back(in, out, rng);
+    }
+  }
+  for (GcnConv& l : gcn_layers_) RegisterChild(l);
+  for (GinConv& l : gin_layers_) RegisterChild(l);
+}
+
+const SparseMatrix& GraphEncoder::PickOperator(const GraphBatch& batch) const {
+  return config_.kind == EncoderKind::kGcn ? batch.norm_adj : batch.adj_self;
+}
+
+Variable GraphEncoder::ForwardNodesWithOperator(const SparseMatrix& propagate,
+                                                const Variable& features) const {
+  Variable h = features;
+  const int n = config_.num_layers;
+  for (int l = 0; l < n; ++l) {
+    const bool last = l == n - 1;
+    // No ReLU after the final layer: embeddings stay sign-indefinite,
+    // which matters for cosine-similarity contrast.
+    if (config_.kind == EncoderKind::kGcn) {
+      h = gcn_layers_[l].Forward(propagate, h, /*apply_relu=*/!last);
+    } else {
+      h = gin_layers_[l].Forward(propagate, h, /*apply_relu=*/!last);
+    }
+  }
+  return h;
+}
+
+Variable GraphEncoder::ForwardNodes(const GraphBatch& batch) const {
+  GRADGCL_CHECK_MSG(batch.features.cols() == config_.in_dim,
+                    "encoder input width mismatch");
+  return ForwardNodesWithOperator(PickOperator(batch),
+                                  Variable(batch.features));
+}
+
+Variable GraphEncoder::ForwardGraphs(const GraphBatch& batch) const {
+  return Readout(ForwardNodes(batch), batch.segments, batch.num_graphs,
+                 config_.readout);
+}
+
+GraphEncoder::Output GraphEncoder::Forward(const GraphBatch& batch) const {
+  Output out;
+  out.nodes = ForwardNodes(batch);
+  out.graphs = Readout(out.nodes, batch.segments, batch.num_graphs,
+                       config_.readout);
+  return out;
+}
+
+GatNodeEncoder::GatNodeEncoder(const std::vector<int>& dims, Rng& rng,
+                               double leaky_slope) {
+  GRADGCL_CHECK_MSG(dims.size() >= 2, "GatNodeEncoder needs >= 2 dims");
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng, leaky_slope);
+  }
+  for (GatConv& l : layers_) RegisterChild(l);
+}
+
+Variable GatNodeEncoder::ForwardWithMask(const Matrix& mask,
+                                         const Variable& features) const {
+  Variable h = features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = l + 1 == layers_.size();
+    h = layers_[l].Forward(mask, h, /*apply_relu=*/!last);
+  }
+  return h;
+}
+
+Variable GatNodeEncoder::Forward(const Graph& g) const {
+  return ForwardWithMask(DenseAttentionMask(g), Variable(g.features));
+}
+
+Variable Readout(const Variable& nodes, const std::vector<int>& segments,
+                 int num_graphs, ReadoutKind kind) {
+  switch (kind) {
+    case ReadoutKind::kMean:
+      return ag::SegmentMean(nodes, segments, num_graphs);
+    case ReadoutKind::kSum:
+      return ag::SegmentSum(nodes, segments, num_graphs);
+  }
+  GRADGCL_CHECK_MSG(false, "unknown readout kind");
+  return Variable();
+}
+
+}  // namespace gradgcl

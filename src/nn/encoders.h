@@ -1,0 +1,95 @@
+// GNN encoders f_θ mapping a (batched) graph to node embeddings and,
+// through a readout, to graph embeddings h_G = READOUT(h_v) — the
+// encoder abstraction of the paper's Sec. II-B. Both GCN and GIN
+// message passing are supported; all graph-level baselines default to
+// GIN (as in GraphCL/SimGRACE), node-level ones to GCN (as in GRACE).
+
+#ifndef GRADGCL_NN_ENCODERS_H_
+#define GRADGCL_NN_ENCODERS_H_
+
+#include <vector>
+
+#include "graph/batch.h"
+#include "nn/layers.h"
+
+namespace gradgcl {
+
+// Message-passing flavour.
+enum class EncoderKind { kGcn, kGin };
+
+// Permutation-invariant readout over each graph's nodes.
+enum class ReadoutKind { kMean, kSum };
+
+// Encoder hyperparameters.
+struct EncoderConfig {
+  EncoderKind kind = EncoderKind::kGin;
+  int in_dim = 8;
+  int hidden_dim = 32;
+  int out_dim = 32;
+  int num_layers = 2;
+  ReadoutKind readout = ReadoutKind::kMean;
+};
+
+// Multi-layer GNN encoder with graph readout.
+class GraphEncoder : public Module {
+ public:
+  GraphEncoder(const EncoderConfig& config, Rng& rng);
+
+  // Node embeddings (total_nodes x out_dim) of the batch.
+  Variable ForwardNodes(const GraphBatch& batch) const;
+
+  // Graph embeddings (num_graphs x out_dim) via the configured readout.
+  Variable ForwardGraphs(const GraphBatch& batch) const;
+
+  // Node and graph embeddings of one pass (InfoGraph contrasts both).
+  struct Output {
+    Variable nodes;
+    Variable graphs;
+  };
+  Output Forward(const GraphBatch& batch) const;
+
+  // Like ForwardNodes but with an explicit propagation operator —
+  // MVGRL passes a diffusion operator here instead of the adjacency.
+  Variable ForwardNodesWithOperator(const SparseMatrix& propagate,
+                                    const Variable& features) const;
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  // Picks the batch operator matching `config_.kind`.
+  const SparseMatrix& PickOperator(const GraphBatch& batch) const;
+
+  EncoderConfig config_;
+  std::vector<GcnConv> gcn_layers_;
+  std::vector<GinConv> gin_layers_;
+};
+
+// Readout helper shared by encoder and models: pools node rows into
+// per-graph rows according to `segments`.
+Variable Readout(const Variable& nodes, const std::vector<int>& segments,
+                 int num_graphs, ReadoutKind kind);
+
+// Attention-based node encoder (stacked GAT layers) for node-level
+// tasks. Operates on one graph with a dense attention mask, so it is
+// intended for the few-hundred-node datasets, not batched disjoint
+// unions.
+class GatNodeEncoder : public Module {
+ public:
+  // dims = {in, hidden..., out}; one GatConv per transition.
+  GatNodeEncoder(const std::vector<int>& dims, Rng& rng,
+                 double leaky_slope = 0.2);
+
+  // Node embeddings of `g` (num_nodes x out_dim).
+  Variable Forward(const Graph& g) const;
+
+  // Node embeddings from explicit features sharing g's structure
+  // (used with augmented views whose mask is rebuilt per view).
+  Variable ForwardWithMask(const Matrix& mask, const Variable& features) const;
+
+ private:
+  std::vector<GatConv> layers_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_NN_ENCODERS_H_

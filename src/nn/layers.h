@@ -1,0 +1,105 @@
+// Neural network building blocks: Linear, MLP, GCNConv, GINConv.
+//
+// Layers take and return autograd Variables; graph convolutions take
+// the batch's sparse propagation operator explicitly so the same layer
+// works for single graphs, disjoint-union batches, and diffusion views
+// (MVGRL passes a PPR operator instead of the adjacency).
+
+#ifndef GRADGCL_NN_LAYERS_H_
+#define GRADGCL_NN_LAYERS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/graph.h"
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gradgcl {
+
+// Fully connected layer y = x W + b.
+class Linear : public Module {
+ public:
+  // Glorot-uniform weight init, zero bias.
+  Linear(int in_dim, int out_dim, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Variable weight_;  // in_dim x out_dim
+  Variable bias_;    // 1 x out_dim
+};
+
+// Multi-layer perceptron with ReLU between layers (none after the last).
+class Mlp : public Module {
+ public:
+  // dims = {in, hidden..., out}; requires >= 2 entries.
+  Mlp(const std::vector<int>& dims, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+// Graph convolution (Kipf & Welling): H' = σ(Â H W), where Â is the
+// operator passed to Forward (normally the batch's norm_adj).
+class GcnConv : public Module {
+ public:
+  GcnConv(int in_dim, int out_dim, Rng& rng);
+
+  // `propagate` is the (constant) sparse propagation operator; `apply_relu`
+  // lets the encoder skip the nonlinearity on its last layer.
+  Variable Forward(const SparseMatrix& propagate, const Variable& x,
+                   bool apply_relu = true) const;
+
+ private:
+  Linear lin_;
+};
+
+// Graph isomorphism convolution (Xu et al.): H' = MLP((A + I) H)
+// (ε = 0 variant). Pass the batch's adj_self operator.
+class GinConv : public Module {
+ public:
+  GinConv(int in_dim, int out_dim, Rng& rng);
+
+  Variable Forward(const SparseMatrix& propagate, const Variable& x,
+                   bool apply_relu = true) const;
+
+ private:
+  Mlp mlp_;
+};
+
+// Graph attention convolution (Veličković et al., ICLR 2018),
+// single-head, dense-masked variant for node-level graphs:
+//   e_ij = LeakyReLU(a_src·(W x_i) + a_dst·(W x_j)),  (i, j) ∈ E ∪ self
+//   α    = masked softmax over each row of e
+//   H'   = σ(α · X W).
+// The attention support is a dense 0/1 mask (adjacency + self loops),
+// appropriate for the few-hundred-node graphs of the node tasks.
+class GatConv : public Module {
+ public:
+  GatConv(int in_dim, int out_dim, Rng& rng, double leaky_slope = 0.2);
+
+  // `mask` is the n x n attention support (see DenseAttentionMask).
+  Variable Forward(const Matrix& mask, const Variable& x,
+                   bool apply_relu = true) const;
+
+ private:
+  double leaky_slope_;
+  Linear lin_;
+  Variable attn_src_;  // out_dim x 1
+  Variable attn_dst_;  // out_dim x 1
+};
+
+// Dense 0/1 attention support of a graph: adjacency plus self loops.
+Matrix DenseAttentionMask(const Graph& g);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_NN_LAYERS_H_

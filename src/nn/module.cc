@@ -1,0 +1,74 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+void Module::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+std::vector<Matrix> Module::StateCopy() const {
+  std::vector<Matrix> state;
+  state.reserve(params_.size());
+  for (const Variable& p : params_) state.push_back(p.value());
+  return state;
+}
+
+void Module::LoadState(const std::vector<Matrix>& state) {
+  GRADGCL_CHECK_MSG(state.size() == params_.size(),
+                    "LoadState: parameter count mismatch");
+  for (size_t i = 0; i < state.size(); ++i) params_[i].set_value(state[i]);
+}
+
+int Module::NumScalarParameters() const {
+  int total = 0;
+  for (const Variable& p : params_) total += p.value().size();
+  return total;
+}
+
+Variable Module::AddParameter(Matrix init) {
+  Variable p(std::move(init), /*requires_grad=*/true);
+  params_.push_back(p);
+  return p;
+}
+
+void Module::RegisterChild(Module& child) {
+  for (Variable& p : child.parameters()) params_.push_back(p);
+}
+
+std::vector<Matrix> PerturbState(const std::vector<Matrix>& state,
+                                 double magnitude, Rng& rng) {
+  std::vector<Matrix> out = state;
+  for (Matrix& m : out) {
+    if (m.size() == 0) continue;
+    // Per-tensor element standard deviation.
+    const double mean = m.Mean();
+    double var = 0.0;
+    for (int i = 0; i < m.size(); ++i) {
+      const double d = m.at_flat(i) - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / m.size());
+    for (int i = 0; i < m.size(); ++i) {
+      m.at_flat(i) += rng.Normal(0.0, magnitude * stddev);
+    }
+  }
+  return out;
+}
+
+void EmaUpdate(std::vector<Matrix>& target, const std::vector<Matrix>& online,
+               double decay) {
+  GRADGCL_CHECK(target.size() == online.size());
+  GRADGCL_CHECK(decay >= 0.0 && decay <= 1.0);
+  for (size_t k = 0; k < target.size(); ++k) {
+    Matrix& t = target[k];
+    const Matrix& o = online[k];
+    GRADGCL_CHECK(t.rows() == o.rows() && t.cols() == o.cols());
+    for (int i = 0; i < t.size(); ++i) {
+      t.at_flat(i) = decay * t.at_flat(i) + (1.0 - decay) * o.at_flat(i);
+    }
+  }
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,73 @@
+// Parameter management for neural network components.
+//
+// A Module owns a flat list of parameter Variables (requires_grad
+// tensors that an Optimizer updates). Composite modules register their
+// children's parameters into their own list at construction, so
+// `parameters()` of a top-level model covers everything reachable.
+// State export/import (plain Matrix copies) supports SimGRACE's
+// perturbed-encoder views and BGRL's EMA target network.
+
+#ifndef GRADGCL_NN_MODULE_H_
+#define GRADGCL_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace gradgcl {
+
+// Base class for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  // Movable (parameters are shared handles; node identity survives the
+  // move) but not copyable: a copy would silently share parameters.
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters, in registration order.
+  const std::vector<Variable>& parameters() const { return params_; }
+  std::vector<Variable>& parameters() { return params_; }
+
+  // Zeroes the gradient accumulators of all parameters.
+  void ZeroGrad();
+
+  // Copies of all parameter values, in registration order.
+  std::vector<Matrix> StateCopy() const;
+
+  // Overwrites parameter values from `state` (shapes must match).
+  void LoadState(const std::vector<Matrix>& state);
+
+  // Number of scalar parameters.
+  int NumScalarParameters() const;
+
+ protected:
+  // Registers a new trainable parameter initialised to `init`.
+  Variable AddParameter(Matrix init);
+
+  // Registers all parameters of a child module into this one.
+  void RegisterChild(Module& child);
+
+ private:
+  std::vector<Variable> params_;
+};
+
+// Returns `state` with i.i.d. Gaussian noise added to every entry of
+// every matrix, scaled per-tensor by `magnitude` times that tensor's
+// element standard deviation — SimGRACE's encoder perturbation rule.
+std::vector<Matrix> PerturbState(const std::vector<Matrix>& state,
+                                 double magnitude, Rng& rng);
+
+// In-place EMA update: target = decay * target + (1 - decay) * online.
+// Used by BGRL / SGCL bootstrap targets.
+void EmaUpdate(std::vector<Matrix>& target, const std::vector<Matrix>& online,
+               double decay);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_NN_MODULE_H_

@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <memory>
+
+namespace gradgcl {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'G', 'C', 'L'};
+constexpr int32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteI32(std::FILE* f, int32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadI32(std::FILE* f, int32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+bool SaveState(const std::string& path, const std::vector<Matrix>& state) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  if (!WriteI32(f.get(), kVersion)) return false;
+  if (!WriteI32(f.get(), static_cast<int32_t>(state.size()))) return false;
+  for (const Matrix& m : state) {
+    if (!WriteI32(f.get(), m.rows()) || !WriteI32(f.get(), m.cols())) {
+      return false;
+    }
+    const size_t n = static_cast<size_t>(m.size());
+    if (n > 0 && std::fwrite(m.data(), sizeof(double), n, f.get()) != n) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadStateFile(const std::string& path, std::vector<Matrix>* state) {
+  GRADGCL_CHECK(state != nullptr);
+  state->clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return false;
+  }
+  int32_t version = 0, count = 0;
+  if (!ReadI32(f.get(), &version) || version != kVersion) return false;
+  if (!ReadI32(f.get(), &count) || count < 0) return false;
+  state->reserve(count);
+  for (int32_t k = 0; k < count; ++k) {
+    int32_t rows = 0, cols = 0;
+    if (!ReadI32(f.get(), &rows) || !ReadI32(f.get(), &cols) || rows < 0 ||
+        cols < 0) {
+      state->clear();
+      return false;
+    }
+    Matrix m(rows, cols);
+    const size_t n = static_cast<size_t>(m.size());
+    if (n > 0 && std::fread(m.data(), sizeof(double), n, f.get()) != n) {
+      state->clear();
+      return false;
+    }
+    state->push_back(std::move(m));
+  }
+  return true;
+}
+
+bool SaveModule(const std::string& path, const Module& module) {
+  return SaveState(path, module.StateCopy());
+}
+
+bool LoadModule(const std::string& path, Module& module) {
+  std::vector<Matrix> state;
+  if (!LoadStateFile(path, &state)) return false;
+  module.LoadState(state);
+  return true;
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,32 @@
+// Binary (de)serialisation of model parameter state — lets users save
+// a pre-trained encoder and reload it for downstream evaluation or
+// fine-tuning, the standard transfer-learning workflow.
+//
+// Format: magic "GGCL" + version + tensor count, then per tensor
+// rows/cols (int32) and row-major doubles. Little-endian hosts only
+// (the only targets this library builds on).
+
+#ifndef GRADGCL_NN_SERIALIZE_H_
+#define GRADGCL_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace gradgcl {
+
+// Writes `state` to `path`. Returns false on I/O failure.
+bool SaveState(const std::string& path, const std::vector<Matrix>& state);
+
+// Reads a state written by SaveState. Returns false on I/O failure or
+// format mismatch (leaving `state` empty).
+bool LoadStateFile(const std::string& path, std::vector<Matrix>* state);
+
+// Convenience: save / restore a module's parameters directly.
+bool SaveModule(const std::string& path, const Module& module);
+bool LoadModule(const std::string& path, Module& module);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_NN_SERIALIZE_H_

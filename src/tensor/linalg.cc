@@ -1,0 +1,178 @@
+#include "tensor/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+
+EigenResult SymmetricEigen(const Matrix& a, int max_sweeps, double tol) {
+  const int n = a.rows();
+  GRADGCL_CHECK_MSG(a.cols() == n, "SymmetricEigen requires a square matrix");
+  Matrix d = a;                 // working copy, converges to diagonal
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of magnitudes of off-diagonal elements (upper triangle).
+    double off = 0.0;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) off += std::abs(d(p, q));
+    }
+    if (off < tol) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) < tol * 1e-3) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the Jacobi rotation J(p, q, θ) on both sides of d.
+        for (int k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors.
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return d(i, i) > d(j, j); });
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (int k = 0; k < n; ++k) {
+    result.eigenvalues[k] = d(order[k], order[k]);
+    for (int r = 0; r < n; ++r) result.eigenvectors(r, k) = v(r, order[k]);
+  }
+  return result;
+}
+
+std::vector<double> SingularValues(const Matrix& a) {
+  GRADGCL_CHECK(a.rows() > 0 && a.cols() > 0);
+  // Work with the smaller Gram matrix.
+  const bool tall = a.rows() >= a.cols();
+  const Matrix gram = tall ? MatMulTransA(a, a) : MatMulTransB(a, a);
+  EigenResult eig = SymmetricEigen(gram);
+  std::vector<double> sv(eig.eigenvalues.size());
+  for (size_t i = 0; i < sv.size(); ++i) {
+    sv[i] = std::sqrt(std::max(0.0, eig.eigenvalues[i]));
+  }
+  return sv;
+}
+
+Matrix Covariance(const Matrix& x) {
+  GRADGCL_CHECK(x.rows() > 0);
+  const int n = x.rows();
+  const Matrix mean = ColMean(x);
+  Matrix centered = x;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < x.cols(); ++j) centered(i, j) -= mean(0, j);
+  }
+  Matrix cov = MatMulTransA(centered, centered);
+  cov *= 1.0 / n;
+  return cov;
+}
+
+std::vector<double> CovarianceSpectrum(const Matrix& representations) {
+  const Matrix cov = Covariance(representations);
+  EigenResult eig = SymmetricEigen(cov);
+  // Covariance is PSD; clamp tiny negative numerical noise to zero.
+  // For a symmetric PSD matrix, singular values equal eigenvalues.
+  std::vector<double> spectrum = eig.eigenvalues;
+  for (double& v : spectrum) v = std::max(0.0, v);
+  std::sort(spectrum.begin(), spectrum.end(), std::greater<double>());
+  return spectrum;
+}
+
+int RankAtThreshold(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0;
+  const double mx = *std::max_element(values.begin(), values.end());
+  if (mx <= 0.0) return 0;
+  int count = 0;
+  for (double v : values) {
+    if (v >= threshold * mx) ++count;
+  }
+  return count;
+}
+
+double EffectiveRank(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += std::max(0.0, v);
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) continue;
+    const double p = v / total;
+    entropy -= p * std::log(p);
+  }
+  return std::exp(entropy);
+}
+
+Matrix SolveLinear(const Matrix& a, const Matrix& b) {
+  const int n = a.rows();
+  GRADGCL_CHECK(a.cols() == n && b.rows() == n);
+  Matrix lu = a;
+  Matrix x = b;
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(lu(r, col)) > std::abs(lu(pivot, col))) pivot = r;
+    }
+    GRADGCL_CHECK_MSG(std::abs(lu(pivot, col)) > 1e-14,
+                      "SolveLinear: singular matrix");
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(lu(col, j), lu(pivot, j));
+      for (int j = 0; j < x.cols(); ++j) std::swap(x(col, j), x(pivot, j));
+    }
+    const double inv = 1.0 / lu(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) * inv;
+      if (f == 0.0) continue;
+      for (int j = col; j < n; ++j) lu(r, j) -= f * lu(col, j);
+      for (int j = 0; j < x.cols(); ++j) x(r, j) -= f * x(col, j);
+    }
+  }
+  // Back substitution.
+  for (int col = n - 1; col >= 0; --col) {
+    const double inv = 1.0 / lu(col, col);
+    for (int j = 0; j < x.cols(); ++j) {
+      double sum = x(col, j);
+      for (int k = col + 1; k < n; ++k) sum -= lu(col, k) * x(k, j);
+      x(col, j) = sum * inv;
+    }
+  }
+  return x;
+}
+
+}  // namespace gradgcl

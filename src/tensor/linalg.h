@@ -1,0 +1,54 @@
+// Dense linear algebra used by the collapse analyses: symmetric Jacobi
+// eigendecomposition, singular values, representation covariance
+// (paper Eq. 5), and rank diagnostics for Figs. 1 and 5.
+
+#ifndef GRADGCL_TENSOR_LINALG_H_
+#define GRADGCL_TENSOR_LINALG_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+
+// Result of a symmetric eigendecomposition A = V diag(λ) V^T.
+struct EigenResult {
+  // Eigenvalues in descending order.
+  std::vector<double> eigenvalues;
+  // Column k of `eigenvectors` is the eigenvector for eigenvalues[k].
+  Matrix eigenvectors;
+};
+
+// Eigendecomposition of a symmetric matrix via the cyclic Jacobi
+// method. `a` must be square and (numerically) symmetric.
+EigenResult SymmetricEigen(const Matrix& a, int max_sweeps = 64,
+                           double tol = 1e-12);
+
+// Singular values of an arbitrary matrix, descending. Computed from
+// the eigenvalues of the smaller Gram matrix (A^T A or A A^T), which
+// is accurate enough for the spectrum diagnostics used here.
+std::vector<double> SingularValues(const Matrix& a);
+
+// Covariance matrix of row-observations (paper Eq. 5):
+//   C = (1/n) Σ_i (u_i - ū)(u_i - ū)^T,   u_i = row i of `x`.
+Matrix Covariance(const Matrix& x);
+
+// Singular values of the representation covariance — the quantity
+// plotted (log-scale, sorted) in the paper's Figs. 1 and 5.
+std::vector<double> CovarianceSpectrum(const Matrix& representations);
+
+// Number of values >= threshold * max(values). A direct reading of
+// "how many dimensions survived" from a spectrum.
+int RankAtThreshold(const std::vector<double>& values, double threshold);
+
+// Effective rank: exp(entropy of the normalised spectrum). Smooth
+// scalar summary of dimensional collapse (higher = less collapsed).
+double EffectiveRank(const std::vector<double>& values);
+
+// Solves the linear system a * x = b for square `a` via Gaussian
+// elimination with partial pivoting. Aborts if `a` is singular.
+Matrix SolveLinear(const Matrix& a, const Matrix& b);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TENSOR_LINALG_H_

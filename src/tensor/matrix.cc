@@ -1,0 +1,204 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace gradgcl {
+
+Matrix::Matrix(int rows, int cols, double fill) : rows_(rows), cols_(cols) {
+  GRADGCL_CHECK(rows >= 0 && cols >= 0);
+  data_.assign(static_cast<size_t>(rows) * cols, fill);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    GRADGCL_CHECK_MSG(static_cast<int>(row.size()) == cols_,
+                      "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+
+Matrix Matrix::Ones(int rows, int cols) { return Matrix(rows, cols, 1.0); }
+
+Matrix Matrix::RandomNormal(int rows, int cols, Rng& rng, double mean,
+                            double stddev) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.at_flat(i) = rng.Normal(mean, stddev);
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int rows, int cols, Rng& rng, double lo,
+                             double hi) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.at_flat(i) = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(int rows, int cols, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  return RandomUniform(rows, cols, rng, -limit, limit);
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::Row(int i) const {
+  GRADGCL_CHECK(i >= 0 && i < rows_);
+  Matrix r(1, cols_);
+  std::copy(data_.begin() + static_cast<size_t>(i) * cols_,
+            data_.begin() + static_cast<size_t>(i + 1) * cols_, r.data());
+  return r;
+}
+
+Matrix Matrix::Col(int j) const {
+  GRADGCL_CHECK(j >= 0 && j < cols_);
+  Matrix c(rows_, 1);
+  for (int i = 0; i < rows_; ++i) c(i, 0) = (*this)(i, j);
+  return c;
+}
+
+void Matrix::SetRow(int i, const Matrix& row) {
+  GRADGCL_CHECK(i >= 0 && i < rows_);
+  GRADGCL_CHECK(row.rows() == 1 && row.cols() == cols_);
+  std::copy(row.data(), row.data() + cols_,
+            data_.begin() + static_cast<size_t>(i) * cols_);
+}
+
+Matrix Matrix::RowSlice(int begin, int end) const {
+  GRADGCL_CHECK(begin >= 0 && begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<size_t>(begin) * cols_,
+            data_.begin() + static_cast<size_t>(end) * cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::Gather(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (int i = 0; i < out.rows(); ++i) {
+    const int src = indices[i];
+    GRADGCL_CHECK(src >= 0 && src < rows_);
+    std::copy(data_.begin() + static_cast<size_t>(src) * cols_,
+              data_.begin() + static_cast<size_t>(src + 1) * cols_,
+              out.data() + static_cast<size_t>(i) * cols_);
+  }
+  return out;
+}
+
+void Matrix::Reshape(int rows, int cols) {
+  GRADGCL_CHECK(rows >= 0 && cols >= 0 && rows * cols == size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GRADGCL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GRADGCL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (int i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+double Matrix::Mean() const {
+  GRADGCL_CHECK(size() > 0);
+  return Sum() / size();
+}
+
+double Matrix::Min() const {
+  GRADGCL_CHECK(size() > 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Max() const {
+  GRADGCL_CHECK(size() > 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = "Matrix " + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + " [\n";
+  const int show_rows = std::min(rows_, max_rows);
+  const int show_cols = std::min(cols_, max_cols);
+  char buf[64];
+  for (int i = 0; i < show_rows; ++i) {
+    out += "  ";
+    for (int j = 0; j < show_cols; ++j) {
+      std::snprintf(buf, sizeof(buf), "%10.4g ", (*this)(i, j));
+      out += buf;
+    }
+    if (show_cols < cols_) out += "...";
+    out += "\n";
+  }
+  if (show_rows < rows_) out += "  ...\n";
+  out += "]";
+  return out;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (std::abs(a.at_flat(i) - b.at_flat(i)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gradgcl

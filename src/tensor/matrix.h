@@ -1,0 +1,149 @@
+// Dense row-major matrix of doubles — the numeric substrate for the
+// whole library (autograd, GNN layers, evaluation, linear algebra).
+//
+// Design notes:
+//  * A Matrix with one of its dimensions equal to 1 doubles as a row or
+//    column vector; there is no separate Vector type.
+//  * Storage is a contiguous std::vector<double>; element (i, j) lives
+//    at data()[i * cols() + j].
+//  * Shapes are validated with GRADGCL_CHECK; mismatches abort rather
+//    than throw (see common/check.h).
+
+#ifndef GRADGCL_TENSOR_MATRIX_H_
+#define GRADGCL_TENSOR_MATRIX_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gradgcl {
+
+// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  // Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  // Creates a rows x cols matrix with every element set to `fill`.
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  // Creates a matrix from nested initializer lists; all rows must have
+  // the same length. Example: Matrix m{{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  // --- Factory functions -------------------------------------------------
+
+  // Identity matrix of size n x n.
+  static Matrix Identity(int n);
+
+  // Matrix of zeros / ones.
+  static Matrix Zeros(int rows, int cols);
+  static Matrix Ones(int rows, int cols);
+
+  // Elementwise i.i.d. N(mean, stddev^2) entries.
+  static Matrix RandomNormal(int rows, int cols, Rng& rng, double mean = 0.0,
+                             double stddev = 1.0);
+
+  // Elementwise i.i.d. Uniform(lo, hi) entries.
+  static Matrix RandomUniform(int rows, int cols, Rng& rng, double lo = 0.0,
+                              double hi = 1.0);
+
+  // Glorot/Xavier-uniform initialisation for an (in, out) weight matrix.
+  static Matrix GlorotUniform(int rows, int cols, Rng& rng);
+
+  // Column vector (n x 1) from values.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  // Row vector (1 x n) from values.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  // --- Shape and element access ------------------------------------------
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  // Total number of elements.
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& operator()(int i, int j) {
+    GRADGCL_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double operator()(int i, int j) const {
+    GRADGCL_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  // Unchecked flat access for hot loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double& at_flat(int idx) { return data_[idx]; }
+  double at_flat(int idx) const { return data_[idx]; }
+
+  // --- Structural operations ----------------------------------------------
+
+  // Returns the transposed matrix.
+  Matrix Transposed() const;
+
+  // Returns row i as a 1 x cols matrix.
+  Matrix Row(int i) const;
+
+  // Returns column j as a rows x 1 matrix.
+  Matrix Col(int j) const;
+
+  // Copies `row` (1 x cols) into row i.
+  void SetRow(int i, const Matrix& row);
+
+  // Returns rows [begin, end) as an (end-begin) x cols matrix.
+  Matrix RowSlice(int begin, int end) const;
+
+  // Returns the rows selected by `indices`, in order.
+  Matrix Gather(const std::vector<int>& indices) const;
+
+  // Reshapes in place; rows*cols must equal size().
+  void Reshape(int rows, int cols);
+
+  // --- Elementwise and scalar operations ----------------------------------
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  // Sets every element to `value`.
+  void Fill(double value);
+
+  // Frobenius norm.
+  double FrobeniusNorm() const;
+
+  // Sum / mean / min / max over all elements.
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  // True if all elements are finite (no NaN / inf).
+  bool AllFinite() const;
+
+  // Human-readable rendering, mainly for test failure messages.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Equality within absolute tolerance `tol` (shape must match exactly).
+bool AllClose(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TENSOR_MATRIX_H_

@@ -1,0 +1,258 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gradgcl {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix out(n, m, 0.0);
+  // ikj loop order: streams through b and out rows contiguously.
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * k;
+    double* orow = out.data() + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA shape mismatch");
+  const int n = a.cols(), k = a.rows(), m = b.cols();
+  Matrix out(n, m, 0.0);
+  for (int kk = 0; kk < k; ++kk) {
+    const double* arow = a.data() + static_cast<size_t>(kk) * n;
+    const double* brow = b.data() + static_cast<size_t>(kk) * m;
+    for (int i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB shape mismatch");
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix out(n, m);
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * k;
+    for (int j = 0; j < m; ++j) {
+      const double* brow = b.data() + static_cast<size_t>(j) * k;
+      double dot = 0.0;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      out(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out.at_flat(i) = a.at_flat(i) * b.at_flat(i);
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& fn) {
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out.at_flat(i) = fn(a.at_flat(i));
+  return out;
+}
+
+Matrix Exp(const Matrix& a) {
+  return Map(a, [](double v) { return std::exp(v); });
+}
+
+Matrix Log(const Matrix& a) {
+  return Map(a, [](double v) { return std::log(v); });
+}
+
+Matrix Tanh(const Matrix& a) {
+  return Map(a, [](double v) { return std::tanh(v); });
+}
+
+Matrix Sqrt(const Matrix& a) {
+  return Map(a, [](double v) { return std::sqrt(v); });
+}
+
+Matrix Abs(const Matrix& a) {
+  return Map(a, [](double v) { return std::abs(v); });
+}
+
+Matrix Relu(const Matrix& a) {
+  return Map(a, [](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1, 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) sum += a(i, j);
+    out(i, 0) = sum;
+  }
+  return out;
+}
+
+Matrix RowMean(const Matrix& a) {
+  GRADGCL_CHECK(a.cols() > 0);
+  Matrix out = RowSum(a);
+  out *= 1.0 / a.cols();
+  return out;
+}
+
+Matrix RowMax(const Matrix& a) {
+  GRADGCL_CHECK(a.cols() > 0);
+  Matrix out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    double best = a(i, 0);
+    for (int j = 1; j < a.cols(); ++j) best = std::max(best, a(i, j));
+    out(i, 0) = best;
+  }
+  return out;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  }
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  GRADGCL_CHECK(a.rows() > 0);
+  Matrix out = ColSum(a);
+  out *= 1.0 / a.rows();
+  return out;
+}
+
+Matrix RowNorms(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
+    out(i, 0) = std::sqrt(sum);
+  }
+  return out;
+}
+
+Matrix RowNormalize(const Matrix& a, double eps) {
+  Matrix out = a;
+  for (int i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
+    const double norm = std::sqrt(sum);
+    if (norm < eps) continue;
+    const double inv = 1.0 / norm;
+    for (int j = 0; j < a.cols(); ++j) out(i, j) *= inv;
+  }
+  return out;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  GRADGCL_CHECK(a.cols() > 0);
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    double mx = a(i, 0);
+    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, a(i, j));
+    double z = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      const double e = std::exp(a(i, j) - mx);
+      out(i, j) = e;
+      z += e;
+    }
+    const double inv = 1.0 / z;
+    for (int j = 0; j < a.cols(); ++j) out(i, j) *= inv;
+  }
+  return out;
+}
+
+Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK(a.cols() == b.cols());
+  return MatMulTransB(RowNormalize(a), RowNormalize(b));
+}
+
+Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK(a.cols() == b.cols());
+  const Matrix dots = MatMulTransB(a, b);
+  Matrix a2 = RowNorms(a);
+  Matrix b2 = RowNorms(b);
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double ai = a2(i, 0) * a2(i, 0);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double bj = b2(j, 0) * b2(j, 0);
+      out(i, j) = std::max(0.0, ai + bj - 2.0 * dots(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  GRADGCL_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  Matrix out = a;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out(i, j) += row(0, j);
+  }
+  return out;
+}
+
+Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
+  GRADGCL_CHECK(scale.rows() == a.rows() && scale.cols() == 1);
+  Matrix out = a;
+  for (int i = 0; i < a.rows(); ++i) {
+    const double s = scale(i, 0);
+    for (int j = 0; j < a.cols(); ++j) out(i, j) *= s;
+  }
+  return out;
+}
+
+Matrix VStack(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+Matrix HStack(const Matrix& a, const Matrix& b) {
+  GRADGCL_CHECK(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out(i, j) = a(i, j);
+    for (int j = 0; j < b.cols(); ++j) out(i, a.cols() + j) = b(i, j);
+  }
+  return out;
+}
+
+}  // namespace gradgcl

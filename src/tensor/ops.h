@@ -1,0 +1,92 @@
+// Free-function numeric kernels on Matrix: BLAS-lite products,
+// elementwise maps, reductions, row-wise normalisation, softmax, and
+// pairwise similarity matrices. These are the raw (non-differentiable)
+// kernels; autograd/ops.h wraps the ones that need gradients.
+
+#ifndef GRADGCL_TENSOR_OPS_H_
+#define GRADGCL_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+
+// --- Products -------------------------------------------------------------
+
+// Returns a * b. Requires a.cols() == b.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// Returns a^T * b without materialising the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+// Returns a * b^T without materialising the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+// Elementwise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+// --- Elementwise arithmetic -------------------------------------------------
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, double s);
+Matrix operator*(double s, const Matrix& a);
+
+// Applies `fn` elementwise.
+Matrix Map(const Matrix& a, const std::function<double(double)>& fn);
+
+// Elementwise exp / log / tanh / sqrt / abs.
+Matrix Exp(const Matrix& a);
+Matrix Log(const Matrix& a);
+Matrix Tanh(const Matrix& a);
+Matrix Sqrt(const Matrix& a);
+Matrix Abs(const Matrix& a);
+
+// Elementwise max(a, 0).
+Matrix Relu(const Matrix& a);
+
+// --- Reductions -------------------------------------------------------------
+
+// Column vector (rows x 1) of per-row sums / means / max.
+Matrix RowSum(const Matrix& a);
+Matrix RowMean(const Matrix& a);
+Matrix RowMax(const Matrix& a);
+
+// Row vector (1 x cols) of per-column sums / means.
+Matrix ColSum(const Matrix& a);
+Matrix ColMean(const Matrix& a);
+
+// --- Row geometry -------------------------------------------------------------
+
+// Column vector of per-row L2 norms.
+Matrix RowNorms(const Matrix& a);
+
+// Rows scaled to unit L2 norm; rows with norm < eps are left as zero.
+Matrix RowNormalize(const Matrix& a, double eps = 1e-12);
+
+// Numerically stable row-wise softmax.
+Matrix RowSoftmax(const Matrix& a);
+
+// Pairwise cosine-similarity matrix: out(i, j) = cos(a_i, b_j).
+// a is n x d, b is m x d, result is n x m.
+Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b);
+
+// Pairwise squared Euclidean distances: out(i, j) = |a_i - b_j|^2.
+Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b);
+
+// Broadcast-adds a 1 x cols row vector to every row of a.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+// Broadcast-multiplies each row i of a by scale(i, 0).
+Matrix ScaleRows(const Matrix& a, const Matrix& scale);
+
+// Stacks b below a (column counts must match).
+Matrix VStack(const Matrix& a, const Matrix& b);
+
+// Concatenates b to the right of a (row counts must match).
+Matrix HStack(const Matrix& a, const Matrix& b);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TENSOR_OPS_H_

@@ -1,0 +1,75 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+namespace gradgcl {
+
+SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  GRADGCL_CHECK(rows >= 0 && cols >= 0);
+  for (const Triplet& t : triplets) {
+    GRADGCL_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_offsets_.assign(rows + 1, 0);
+  col_indices_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    col_indices_.push_back(triplets[i].col);
+    values_.push_back(sum);
+    ++row_offsets_[triplets[i].row + 1];
+    i = j;
+  }
+  for (int r = 0; r < rows; ++r) row_offsets_[r + 1] += row_offsets_[r];
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  GRADGCL_CHECK_MSG(x.rows() == cols_, "SparseMatrix::Multiply shape mismatch");
+  Matrix y(rows_, x.cols(), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double* yrow = y.data() + static_cast<size_t>(r) * x.cols();
+    for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* xrow = x.data() + static_cast<size_t>(col_indices_[k]) * x.cols();
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
+  GRADGCL_CHECK_MSG(x.rows() == rows_,
+                    "SparseMatrix::MultiplyTransposed shape mismatch");
+  Matrix y(cols_, x.cols(), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* xrow = x.data() + static_cast<size_t>(r) * x.cols();
+    for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double v = values_[k];
+      double* yrow = y.data() + static_cast<size_t>(col_indices_[k]) * x.cols();
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix d(rows_, cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      d(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace gradgcl

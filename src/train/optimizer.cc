@@ -1,0 +1,97 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace gradgcl {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    GRADGCL_CHECK_MSG(p.defined() && p.requires_grad(),
+                      "optimizer parameter must require gradients");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  GRADGCL_CHECK(lr > 0.0 && momentum >= 0.0 && momentum < 1.0);
+  GRADGCL_CHECK(weight_decay >= 0.0);
+  velocity_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    velocity_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Variable& p = params_[k];
+    Matrix update = p.grad();
+    if (weight_decay_ > 0.0) {
+      Matrix wd = p.value();
+      wd *= weight_decay_;
+      update += wd;
+    }
+    if (momentum_ > 0.0) {
+      velocity_[k] *= momentum_;
+      velocity_[k] += update;
+      update = velocity_[k];
+    }
+    Matrix value = p.value();
+    update *= lr_;
+    value -= update;
+    p.set_value(std::move(value));
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  GRADGCL_CHECK(lr > 0.0);
+  GRADGCL_CHECK(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0);
+  GRADGCL_CHECK(eps > 0.0 && weight_decay >= 0.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+    v_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Variable& p = params_[k];
+    const Matrix& g = p.grad();
+    Matrix value = p.value();
+    for (int i = 0; i < value.size(); ++i) {
+      const double gi = g.at_flat(i);
+      double& mi = m_[k].at_flat(i);
+      double& vi = v_[k].at_flat(i);
+      mi = beta1_ * mi + (1.0 - beta1_) * gi;
+      vi = beta2_ * vi + (1.0 - beta2_) * gi * gi;
+      const double m_hat = mi / bc1;
+      const double v_hat = vi / bc2;
+      double delta = m_hat / (std::sqrt(v_hat) + eps_);
+      if (weight_decay_ > 0.0) delta += weight_decay_ * value.at_flat(i);
+      value.at_flat(i) -= lr_ * delta;
+    }
+    p.set_value(std::move(value));
+  }
+}
+
+}  // namespace gradgcl

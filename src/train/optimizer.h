@@ -1,0 +1,78 @@
+// First-order optimisers over parameter Variables: SGD (+momentum,
+// weight decay) and Adam. Parameters keep their node identity across
+// steps (Variable::set_value), so model forward passes built after a
+// step see the updated weights.
+
+#ifndef GRADGCL_TRAIN_OPTIMIZER_H_
+#define GRADGCL_TRAIN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace gradgcl {
+
+// Interface shared by all optimisers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  // Changes the learning rate (used by LR schedules).
+  virtual void set_lr(double lr) = 0;
+  virtual double lr() const = 0;
+
+  // Zeroes all parameter gradients (call before each forward pass).
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Variable> params);
+
+  std::vector<Variable> params_;
+};
+
+// Stochastic gradient descent with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) override { lr_ = lr; }
+  double lr() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Matrix> velocity_;
+};
+
+// Adam (Kingma & Ba) with optional decoupled L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) override { lr_ = lr; }
+  double lr() const override { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TRAIN_OPTIMIZER_H_

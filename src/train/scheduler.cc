@@ -1,0 +1,45 @@
+#include "train/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gradgcl {
+
+double ScheduledLr(LrSchedule schedule, double base_lr, int epoch,
+                   int total_epochs) {
+  GRADGCL_CHECK(base_lr > 0.0 && total_epochs > 0);
+  GRADGCL_CHECK(epoch >= 0 && epoch < total_epochs);
+  switch (schedule) {
+    case LrSchedule::kConstant:
+      return base_lr;
+    case LrSchedule::kStep: {
+      const int third = std::max(1, total_epochs / 3);
+      return base_lr * std::pow(0.5, epoch / third);
+    }
+    case LrSchedule::kCosine: {
+      const double progress =
+          total_epochs > 1
+              ? static_cast<double>(epoch) / (total_epochs - 1)
+              : 0.0;
+      return base_lr * 0.5 * (1.0 + std::cos(M_PI * progress));
+    }
+    case LrSchedule::kWarmupCosine: {
+      const int warmup = std::max(1, total_epochs / 10);
+      if (epoch < warmup) {
+        return base_lr * (epoch + 1.0) / warmup;
+      }
+      const double progress =
+          total_epochs - 1 > warmup
+              ? static_cast<double>(epoch - warmup) /
+                    (total_epochs - 1 - warmup)
+              : 1.0;
+      return base_lr * 0.5 * (1.0 + std::cos(M_PI * progress));
+    }
+  }
+  GRADGCL_CHECK_MSG(false, "unknown LrSchedule");
+  return base_lr;
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,24 @@
+// Learning-rate schedules. A schedule maps (epoch, total_epochs,
+// base_lr) to the epoch's learning rate; the trainer applies it before
+// each epoch when TrainOptions::schedule is set.
+
+#ifndef GRADGCL_TRAIN_SCHEDULER_H_
+#define GRADGCL_TRAIN_SCHEDULER_H_
+
+namespace gradgcl {
+
+// Available schedules.
+enum class LrSchedule {
+  kConstant,  // base_lr throughout
+  kStep,      // base_lr halved every 1/3 of training
+  kCosine,    // cosine annealing from base_lr to ~0
+  kWarmupCosine,  // linear warmup over the first 10%, then cosine
+};
+
+// The learning rate for `epoch` of `total_epochs` under `schedule`.
+double ScheduledLr(LrSchedule schedule, double base_lr, int epoch,
+                   int total_epochs);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TRAIN_SCHEDULER_H_

@@ -1,0 +1,90 @@
+#include "train/trainer.h"
+
+#include "common/stopwatch.h"
+
+namespace gradgcl {
+
+std::vector<std::vector<int>> MakeMiniBatches(int n, int batch_size,
+                                              Rng& rng) {
+  GRADGCL_CHECK(n >= 2 && batch_size >= 2);
+  std::vector<int> perm = rng.Permutation(n);
+  std::vector<std::vector<int>> batches;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    batches.emplace_back(perm.begin() + start, perm.begin() + end);
+  }
+  // Contrastive losses need >= 2 samples: fold a trailing singleton in.
+  if (batches.size() >= 2 && batches.back().size() < 2) {
+    batches[batches.size() - 2].push_back(batches.back()[0]);
+    batches.pop_back();
+  }
+  return batches;
+}
+
+std::vector<EpochStats> TrainGraphSsl(
+    GraphSslModel& model, const std::vector<Graph>& dataset,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  GRADGCL_CHECK(dataset.size() >= 2);
+  Adam optimizer(model.parameters(), options.lr, 0.9, 0.999, 1e-8,
+                 options.weight_decay);
+  Rng rng(options.seed);
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    optimizer.set_lr(
+        ScheduledLr(options.schedule, options.lr, epoch, options.epochs));
+    Stopwatch watch;
+    double epoch_loss = 0.0;
+    int steps = 0;
+    for (const std::vector<int>& batch : MakeMiniBatches(
+             static_cast<int>(dataset.size()), options.batch_size, rng)) {
+      optimizer.ZeroGrad();
+      Variable loss = model.BatchLoss(dataset, batch, rng);
+      Backward(loss);
+      optimizer.Step();
+      model.PostStep();
+      epoch_loss += loss.scalar();
+      ++steps;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = steps > 0 ? epoch_loss / steps : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+std::vector<EpochStats> TrainNodeSsl(
+    NodeSslModel& model, const NodeDataset& dataset,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  Adam optimizer(model.parameters(), options.lr, 0.9, 0.999, 1e-8,
+                 options.weight_decay);
+  Rng rng(options.seed);
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    optimizer.set_lr(
+        ScheduledLr(options.schedule, options.lr, epoch, options.epochs));
+    Stopwatch watch;
+    optimizer.ZeroGrad();
+    Variable loss = model.EpochLoss(dataset, rng);
+    Backward(loss);
+    optimizer.Step();
+    model.PostStep();
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss.scalar();
+    stats.seconds = watch.ElapsedSeconds();
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace gradgcl

@@ -1,0 +1,89 @@
+// Self-supervised training loops shared by all backbone models.
+//
+// Models implement one of two small interfaces (graph-level, trained
+// on shuffled mini-batches of graphs; node-level, trained full-graph)
+// and the loops here own shuffling, optimisation, timing, and optional
+// per-epoch callbacks (used by the Fig. 7 trajectory bench).
+
+#ifndef GRADGCL_TRAIN_TRAINER_H_
+#define GRADGCL_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "datasets/node_synthetic.h"
+#include "graph/batch.h"
+#include "nn/module.h"
+#include "train/optimizer.h"
+#include "train/scheduler.h"
+
+namespace gradgcl {
+
+// Hyperparameters of a training run.
+struct TrainOptions {
+  int epochs = 20;
+  int batch_size = 64;   // graph-level only
+  double lr = 0.01;
+  double weight_decay = 0.0;
+  LrSchedule schedule = LrSchedule::kConstant;
+  uint64_t seed = 1;
+};
+
+// Per-epoch record.
+struct EpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double seconds = 0.0;
+};
+
+// Interface of a graph-level self-supervised model (GraphCL, JOAO,
+// SimGRACE, InfoGraph, MVGRL — with or without GradGCL).
+class GraphSslModel : public Module {
+ public:
+  // Self-supervised loss on dataset[indices]; `rng` drives the model's
+  // stochastic views (augmentations / perturbations).
+  virtual Variable BatchLoss(const std::vector<Graph>& dataset,
+                             const std::vector<int>& indices, Rng& rng) = 0;
+
+  // Deterministic inference embeddings, one row per graph.
+  virtual Matrix EmbedGraphs(const std::vector<Graph>& dataset) = 0;
+
+  // Hook invoked after each optimiser step (JOAO's augmentation-
+  // distribution update, BGRL's EMA, ...). Default: nothing.
+  virtual void PostStep() {}
+};
+
+// Interface of a node-level self-supervised model (GRACE, GCA, BGRL,
+// COSTA, SGCL, node-MVGRL).
+class NodeSslModel : public Module {
+ public:
+  // Full-graph self-supervised loss for one epoch step.
+  virtual Variable EpochLoss(const NodeDataset& dataset, Rng& rng) = 0;
+
+  // Deterministic inference embeddings, one row per node.
+  virtual Matrix EmbedNodes(const NodeDataset& dataset) = 0;
+
+  virtual void PostStep() {}
+};
+
+// Trains a graph-level model with Adam over shuffled mini-batches.
+// `on_epoch` (optional) observes the stats of each finished epoch.
+std::vector<EpochStats> TrainGraphSsl(
+    GraphSslModel& model, const std::vector<Graph>& dataset,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+// Trains a node-level model with Adam, one full-graph step per epoch.
+std::vector<EpochStats> TrainNodeSsl(
+    NodeSslModel& model, const NodeDataset& dataset,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+// Shuffled mini-batch index lists covering 0..n-1 (last batch may be
+// smaller, but never smaller than 2 — singleton batches are folded
+// into the previous one since contrastive losses need negatives).
+std::vector<std::vector<int>> MakeMiniBatches(int n, int batch_size, Rng& rng);
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_TRAIN_TRAINER_H_

@@ -1,0 +1,240 @@
+#include "augment/augment.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace gradgcl {
+namespace {
+
+Graph TestGraph(int n = 20, uint64_t seed = 1) {
+  Rng rng(seed);
+  Graph g;
+  g.num_nodes = n;
+  for (int i = 0; i + 1 < n; ++i) g.edges.emplace_back(i, i + 1);  // path
+  for (int k = 0; k < n; ++k) {
+    const int u = rng.UniformInt(n);
+    const int v = rng.UniformInt(n);
+    if (u != v && !HasEdge(g, u, v)) g.edges.emplace_back(u, v);
+  }
+  g.features = Matrix::RandomNormal(n, 6, rng);
+  g.label = 3;
+  return g;
+}
+
+TEST(AugmentTest, AllKindsProduceValidGraphs) {
+  Rng rng(2);
+  const Graph g = TestGraph();
+  for (AugmentKind kind : AllAugmentKinds()) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const Graph aug = Augment(g, kind, 0.25, rng);
+      ValidateGraph(aug);
+      EXPECT_EQ(aug.label, g.label) << AugmentKindName(kind);
+      EXPECT_EQ(aug.feature_dim(), g.feature_dim());
+      EXPECT_GE(aug.num_nodes, 1);
+    }
+  }
+}
+
+TEST(AugmentTest, IdentityIsExact) {
+  Rng rng(3);
+  const Graph g = TestGraph();
+  const Graph aug = Augment(g, AugmentKind::kIdentity, 0.3, rng);
+  EXPECT_EQ(aug.edges, g.edges);
+  EXPECT_TRUE(AllClose(aug.features, g.features));
+}
+
+TEST(AugmentTest, KindNamesDistinct) {
+  std::set<std::string> names;
+  for (AugmentKind kind : AllAugmentKinds()) {
+    names.insert(AugmentKindName(kind));
+  }
+  EXPECT_EQ(names.size(), AllAugmentKinds().size());
+}
+
+TEST(NodeDropTest, DropRateApproximate) {
+  Rng rng(5);
+  const Graph g = TestGraph(200);
+  double total = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    total += NodeDrop(g, 0.3, rng).num_nodes;
+  }
+  EXPECT_NEAR(total / 20.0, 140.0, 10.0);
+}
+
+TEST(NodeDropTest, AlwaysKeepsAtLeastOneNode) {
+  Rng rng(7);
+  Graph tiny;
+  tiny.num_nodes = 2;
+  tiny.edges = {{0, 1}};
+  tiny.features = Matrix::Ones(2, 2);
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_GE(NodeDrop(tiny, 0.95, rng).num_nodes, 1);
+  }
+}
+
+TEST(NodeDropTest, ZeroStrengthKeepsEverything) {
+  Rng rng(9);
+  const Graph g = TestGraph();
+  const Graph aug = NodeDrop(g, 0.0, rng);
+  EXPECT_EQ(aug.num_nodes, g.num_nodes);
+  EXPECT_EQ(aug.edges.size(), g.edges.size());
+}
+
+TEST(EdgePerturbTest, KeepsNodeCountAndFeatures) {
+  Rng rng(11);
+  const Graph g = TestGraph();
+  const Graph aug = EdgePerturb(g, 0.3, rng);
+  EXPECT_EQ(aug.num_nodes, g.num_nodes);
+  EXPECT_TRUE(AllClose(aug.features, g.features));
+}
+
+TEST(EdgePerturbTest, EdgeCountRoughlyPreserved) {
+  Rng rng(13);
+  const Graph g = TestGraph(100, 2);
+  double total = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    total += EdgePerturb(g, 0.3, rng).num_edges();
+  }
+  // Removals are compensated by additions in expectation.
+  EXPECT_NEAR(total / 20.0, g.num_edges(), g.num_edges() * 0.15);
+}
+
+TEST(EdgeDropTest, OnlyRemoves) {
+  Rng rng(15);
+  const Graph g = TestGraph();
+  const Graph aug = EdgeDrop(g, 0.4, rng);
+  EXPECT_LE(aug.num_edges(), g.num_edges());
+  for (const auto& [u, v] : aug.edges) {
+    EXPECT_TRUE(HasEdge(g, u, v));
+  }
+}
+
+TEST(EdgeDropTest, RateApproximate) {
+  Rng rng(17);
+  const Graph g = TestGraph(150, 3);
+  double kept = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    kept += EdgeDrop(g, 0.25, rng).num_edges();
+  }
+  EXPECT_NEAR(kept / 20.0 / g.num_edges(), 0.75, 0.06);
+}
+
+TEST(AttrMaskTest, MasksWholeColumns) {
+  Rng rng(19);
+  const Graph g = TestGraph();
+  const Graph aug = AttrMask(g, 0.5, rng);
+  int masked_cols = 0;
+  for (int j = 0; j < aug.features.cols(); ++j) {
+    bool all_zero = true;
+    bool was_nonzero = false;
+    for (int i = 0; i < aug.features.rows(); ++i) {
+      if (aug.features(i, j) != 0.0) all_zero = false;
+      if (g.features(i, j) != 0.0) was_nonzero = true;
+    }
+    if (all_zero && was_nonzero) {
+      ++masked_cols;
+    } else {
+      // Unmasked columns must be untouched.
+      for (int i = 0; i < aug.features.rows(); ++i) {
+        EXPECT_DOUBLE_EQ(aug.features(i, j), g.features(i, j));
+      }
+    }
+  }
+  EXPECT_GE(masked_cols, 1);
+}
+
+TEST(AttrMaskTest, StructureUntouched) {
+  Rng rng(21);
+  const Graph g = TestGraph();
+  EXPECT_EQ(AttrMask(g, 0.5, rng).edges, g.edges);
+}
+
+TEST(SubgraphTest, TargetSizeRespected) {
+  Rng rng(23);
+  const Graph g = TestGraph(60, 4);
+  const Graph sub = SubgraphSample(g, 0.4, rng);
+  // ~60% of nodes kept, modulo walk coverage.
+  EXPECT_LE(sub.num_nodes, 37);
+  EXPECT_GE(sub.num_nodes, 10);
+  ValidateGraph(sub);
+}
+
+TEST(SubgraphTest, InducedEdgesOnly) {
+  Rng rng(25);
+  const Graph g = TestGraph(30, 5);
+  const Graph sub = SubgraphSample(g, 0.5, rng);
+  EXPECT_LE(sub.num_edges(), g.num_edges());
+}
+
+TEST(AdaptiveEdgeDropTest, AverageRateNearTarget) {
+  Rng rng(27);
+  const Graph g = TestGraph(120, 6);
+  double kept = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    kept += AdaptiveEdgeDrop(g, 0.3, rng).num_edges();
+  }
+  EXPECT_NEAR(1.0 - kept / 20.0 / g.num_edges(), 0.3, 0.1);
+}
+
+TEST(AdaptiveEdgeDropTest, LowDegreeEdgesDropMore) {
+  // GCA's rule: an edge's importance is the *smaller* endpoint degree.
+  // Star edges touch a degree-1 leaf (importance 1), chain interior
+  // edges touch degree-2 nodes (importance 2), so star edges must be
+  // dropped more often than chain edges.
+  Graph g;
+  g.num_nodes = 30;
+  for (int i = 1; i <= 14; ++i) g.edges.emplace_back(0, i);  // star
+  for (int i = 15; i + 1 < 30; ++i) g.edges.emplace_back(i, i + 1);  // chain
+  g.features = Matrix::Ones(30, 2);
+  Rng rng(29);
+  int star_kept = 0, chain_kept = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Graph aug = AdaptiveEdgeDrop(g, 0.4, rng);
+    for (const auto& [u, v] : aug.edges) {
+      if (u == 0 || v == 0) {
+        ++star_kept;
+      } else {
+        ++chain_kept;
+      }
+    }
+  }
+  const double star_rate = static_cast<double>(star_kept) / (14.0 * reps);
+  const double chain_rate = static_cast<double>(chain_kept) / (14.0 * reps);
+  EXPECT_GT(chain_rate, star_rate + 0.05);
+}
+
+TEST(AugmentDeathTest, InvalidStrengthAborts) {
+  Rng rng(31);
+  const Graph g = TestGraph();
+  EXPECT_DEATH(Augment(g, AugmentKind::kNodeDrop, 1.0, rng), "GRADGCL_CHECK");
+  EXPECT_DEATH(Augment(g, AugmentKind::kNodeDrop, -0.1, rng),
+               "GRADGCL_CHECK");
+}
+
+// Strength sweep: every kind must remain valid across the whole range.
+class AugmentStrengthSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AugmentStrengthSweep, ProducesValidGraph) {
+  const auto [kind_idx, strength] = GetParam();
+  const AugmentKind kind = AllAugmentKinds()[kind_idx];
+  Rng rng(33);
+  const Graph g = TestGraph();
+  for (int rep = 0; rep < 3; ++rep) {
+    const Graph aug = Augment(g, kind, strength, rng);
+    ValidateGraph(aug);
+    EXPECT_GE(aug.num_nodes, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsByStrength, AugmentStrengthSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,363 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/molecule_universe.h"
+#include "datasets/node_synthetic.h"
+#include "datasets/tu_synthetic.h"
+#include "eval/probes.h"
+#include "graph/stats.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+// --- TU-style graph classification datasets -----------------------------------
+
+TEST(TuDatasetTest, AllPaperProfilesPresent) {
+  const std::vector<TuProfile> profiles = PaperTuProfiles();
+  ASSERT_EQ(profiles.size(), 10u);
+  const std::vector<std::string> expected = {
+      "NCI1",   "PROTEINS", "DD",      "MUTAG",    "COLLAB",
+      "IMDB-B", "RDT-B",    "RDT-M5K", "RDT-M12K", "TWITTER-RGP"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(profiles[i].name, expected[i]);
+  }
+}
+
+TEST(TuDatasetTest, LookupByNameWorks) {
+  const TuProfile p = TuProfileByName("MUTAG");
+  EXPECT_EQ(p.num_graphs, 188);
+  EXPECT_EQ(p.num_classes, 2);
+}
+
+TEST(TuDatasetDeathTest, UnknownProfileAborts) {
+  EXPECT_DEATH(TuProfileByName("NOPE"), "unknown");
+}
+
+TEST(TuDatasetTest, GenerationIsDeterministic) {
+  const TuProfile p = TuProfileByName("MUTAG");
+  const std::vector<Graph> a = GenerateTuDataset(p, 5);
+  const std::vector<Graph> b = GenerateTuDataset(p, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_nodes, b[i].num_nodes);
+    EXPECT_EQ(a[i].edges, b[i].edges);
+    EXPECT_TRUE(AllClose(a[i].features, b[i].features));
+  }
+}
+
+TEST(TuDatasetTest, DifferentSeedsDiffer) {
+  const TuProfile p = TuProfileByName("MUTAG");
+  const std::vector<Graph> a = GenerateTuDataset(p, 5);
+  const std::vector<Graph> b = GenerateTuDataset(p, 6);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a[i].edges != b[i].edges;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TuDatasetTest, LabelsBalancedAcrossClasses) {
+  const TuProfile p = TuProfileByName("RDT-M5K");
+  const std::vector<Graph> graphs = GenerateTuDataset(p, 3);
+  std::vector<int> counts(p.num_classes, 0);
+  for (const Graph& g : graphs) {
+    ASSERT_GE(g.label, 0);
+    ASSERT_LT(g.label, p.num_classes);
+    ++counts[g.label];
+  }
+  const int lo = *std::min_element(counts.begin(), counts.end());
+  const int hi = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(TuDatasetTest, GraphsAreValidAndConnected) {
+  const std::vector<Graph> graphs =
+      GenerateTuDataset(TuProfileByName("IMDB-B"), 7);
+  for (const Graph& g : graphs) {
+    ValidateGraph(g);
+    EXPECT_EQ(CountConnectedComponents(g), 1);
+    EXPECT_GE(g.num_nodes, 4);
+  }
+}
+
+TEST(TuDatasetTest, StatsTrackProfile) {
+  const TuProfile p = TuProfileByName("PROTEINS");
+  const DatasetStats stats = ComputeStats(GenerateTuDataset(p, 9));
+  EXPECT_EQ(stats.num_graphs, p.num_graphs);
+  EXPECT_EQ(stats.num_classes, p.num_classes);
+  EXPECT_NEAR(stats.avg_nodes, p.avg_nodes, p.avg_nodes * 0.15);
+}
+
+TEST(TuDatasetTest, FeaturesAreOneHot) {
+  const std::vector<Graph> graphs =
+      GenerateTuDataset(TuProfileByName("MUTAG"), 3);
+  for (const Graph& g : graphs) {
+    for (int i = 0; i < g.num_nodes; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < g.feature_dim(); ++j) sum += g.features(i, j);
+      EXPECT_DOUBLE_EQ(sum, 1.0);
+    }
+  }
+}
+
+TEST(TuDatasetTest, ClassesAreStructurallySeparable) {
+  // Mean degree must increase with the class index (the planted signal).
+  const TuProfile p = TuProfileByName("IMDB-B");
+  const std::vector<Graph> graphs = GenerateTuDataset(p, 13);
+  double deg[2] = {0, 0};
+  int count[2] = {0, 0};
+  for (const Graph& g : graphs) {
+    deg[g.label] += 2.0 * g.num_edges() / g.num_nodes;
+    ++count[g.label];
+  }
+  EXPECT_GT(deg[1] / count[1], deg[0] / count[0]);
+}
+
+// Every profile must generate cleanly — sweep them all.
+class TuProfileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TuProfileSweep, GeneratesValidDataset) {
+  const TuProfile p = PaperTuProfiles()[GetParam()];
+  const std::vector<Graph> graphs = GenerateTuDataset(p, 1);
+  EXPECT_EQ(static_cast<int>(graphs.size()), p.num_graphs);
+  for (const Graph& g : graphs) ValidateGraph(g);
+  const DatasetStats stats = ComputeStats(graphs);
+  EXPECT_EQ(stats.num_classes, p.num_classes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, TuProfileSweep, ::testing::Range(0, 10));
+
+// --- SBM node-classification datasets ------------------------------------------
+
+TEST(NodeDatasetTest, AllPaperProfilesPresent) {
+  EXPECT_EQ(PaperNodeProfiles().size(), 9u);
+  EXPECT_EQ(NodeProfileByName("Cora").num_classes, 7);
+  EXPECT_EQ(NodeProfileByName("PubMed").num_classes, 3);
+}
+
+TEST(NodeDatasetTest, MasksPartitionNodes) {
+  const NodeDataset ds = GenerateNodeDataset(NodeProfileByName("Cora"), 3);
+  std::set<int> all;
+  all.insert(ds.train_idx.begin(), ds.train_idx.end());
+  all.insert(ds.val_idx.begin(), ds.val_idx.end());
+  all.insert(ds.test_idx.begin(), ds.test_idx.end());
+  EXPECT_EQ(static_cast<int>(all.size()), ds.graph.num_nodes);
+  EXPECT_EQ(ds.train_idx.size() + ds.val_idx.size() + ds.test_idx.size(),
+            static_cast<size_t>(ds.graph.num_nodes));
+}
+
+TEST(NodeDatasetTest, LabelsInRange) {
+  const NodeDataset ds = GenerateNodeDataset(NodeProfileByName("WikiCS"), 5);
+  for (int y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, ds.num_classes);
+  }
+}
+
+TEST(NodeDatasetTest, GraphIsHomophilous) {
+  const NodeDataset ds = GenerateNodeDataset(NodeProfileByName("Cora"), 7);
+  int intra = 0, inter = 0;
+  for (const auto& [u, v] : ds.graph.edges) {
+    if (ds.labels[u] == ds.labels[v]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  // p_out/p_in = 0.12 and ~6x more inter-class pairs; homophily must
+  // still dominate clearly.
+  EXPECT_GT(intra, inter);
+}
+
+TEST(NodeDatasetTest, AverageDegreeNearTarget) {
+  const NodeProfile p = NodeProfileByName("PubMed");
+  const NodeDataset ds = GenerateNodeDataset(p, 11);
+  const double avg_deg =
+      2.0 * ds.graph.num_edges() / ds.graph.num_nodes;
+  EXPECT_NEAR(avg_deg, p.avg_degree, p.avg_degree * 0.3);
+}
+
+TEST(NodeDatasetTest, FeaturesCorrelateWithClass) {
+  const NodeDataset ds = GenerateNodeDataset(NodeProfileByName("Co.Phy"), 13);
+  // Same-class feature rows must be more similar on average than
+  // cross-class rows (this is the probe's signal).
+  const Matrix sim =
+      CosineSimilarityMatrix(ds.graph.features, ds.graph.features);
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  const int n = ds.graph.num_nodes;
+  for (int i = 0; i < n; i += 3) {
+    for (int j = 0; j < n; j += 3) {
+      if (i == j) continue;
+      if (ds.labels[i] == ds.labels[j]) {
+        intra += sim(i, j);
+        ++n_intra;
+      } else {
+        inter += sim(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_GT(intra / n_intra, inter / n_inter + 0.05);
+}
+
+class NodeProfileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeProfileSweep, GeneratesValidDataset) {
+  const NodeProfile p = PaperNodeProfiles()[GetParam()];
+  const NodeDataset ds = GenerateNodeDataset(p, 1);
+  ValidateGraph(ds.graph);
+  EXPECT_EQ(ds.graph.num_nodes, p.num_nodes);
+  EXPECT_EQ(ds.num_classes, p.num_classes);
+  EXPECT_EQ(static_cast<int>(ds.labels.size()), p.num_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, NodeProfileSweep, ::testing::Range(0, 9));
+
+// --- Molecule universe ------------------------------------------------------------
+
+TEST(MoleculeTest, PretrainSetsGenerate) {
+  const std::vector<Graph> zinc =
+      GeneratePretrainSet(PretrainKind::kZinc, 50, 3);
+  const std::vector<Graph> ppi =
+      GeneratePretrainSet(PretrainKind::kPpi, 50, 3);
+  EXPECT_EQ(zinc.size(), 50u);
+  EXPECT_EQ(ppi.size(), 50u);
+  for (const Graph& g : zinc) ValidateGraph(g);
+  for (const Graph& g : ppi) ValidateGraph(g);
+}
+
+TEST(MoleculeTest, PpiDenserThanZinc) {
+  const DatasetStats zinc =
+      ComputeStats(GeneratePretrainSet(PretrainKind::kZinc, 80, 5));
+  const DatasetStats ppi =
+      ComputeStats(GeneratePretrainSet(PretrainKind::kPpi, 80, 5));
+  EXPECT_GT(ppi.avg_degree, zinc.avg_degree);
+}
+
+TEST(MoleculeTest, RingCountOnKnownGraphs) {
+  Graph path;
+  path.num_nodes = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  path.features = Matrix::Ones(4, kNumAtomTypes);
+  EXPECT_EQ(RingCount(path), 0);
+  Graph cycle = path;
+  cycle.edges.emplace_back(3, 0);
+  EXPECT_EQ(RingCount(cycle), 1);
+}
+
+TEST(MoleculeTest, TriangleCountOnKnownGraphs) {
+  Graph tri;
+  tri.num_nodes = 4;
+  tri.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  tri.features = Matrix::Ones(4, kNumAtomTypes);
+  EXPECT_EQ(TriangleCount(tri), 1);
+  // K4 has 4 triangles.
+  Graph k4;
+  k4.num_nodes = 4;
+  k4.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  k4.features = Matrix::Ones(4, kNumAtomTypes);
+  EXPECT_EQ(TriangleCount(k4), 4);
+}
+
+TEST(MoleculeTest, ClusteringCoefficientKnownValues) {
+  Graph tri;
+  tri.num_nodes = 3;
+  tri.edges = {{0, 1}, {1, 2}, {0, 2}};
+  tri.features = Matrix::Ones(3, kNumAtomTypes);
+  EXPECT_NEAR(ClusteringCoefficient(tri), 1.0, 1e-12);
+  Graph path;
+  path.num_nodes = 3;
+  path.edges = {{0, 1}, {1, 2}};
+  path.features = Matrix::Ones(3, kNumAtomTypes);
+  EXPECT_NEAR(ClusteringCoefficient(path), 0.0, 1e-12);
+}
+
+TEST(MoleculeTest, AtomFractionSums) {
+  const std::vector<Graph> graphs =
+      GeneratePretrainSet(PretrainKind::kZinc, 10, 9);
+  for (const Graph& g : graphs) {
+    double total = 0.0;
+    for (int t = 0; t < kNumAtomTypes; ++t) total += AtomFraction(g, t);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MoleculeTest, CarbonDominates) {
+  const std::vector<Graph> graphs =
+      GeneratePretrainSet(PretrainKind::kZinc, 100, 13);
+  double carbon = 0.0;
+  for (const Graph& g : graphs) carbon += AtomFraction(g, 0);
+  EXPECT_NEAR(carbon / graphs.size(), 0.55, 0.06);
+}
+
+TEST(TransferTaskTest, AllTasksGenerateBalancedLabels) {
+  for (const std::string& name : TransferTaskNames()) {
+    const TransferTask task = GenerateTransferTask(name, 100, 17, 0.0);
+    EXPECT_EQ(task.name, name);
+    int positives = 0;
+    for (const Graph& g : task.graphs) {
+      ASSERT_TRUE(g.label == 0 || g.label == 1);
+      positives += g.label;
+    }
+    EXPECT_NEAR(positives, 50, 12) << name;
+  }
+}
+
+TEST(TransferTaskTest, LabelNoiseFlipsSomeLabels) {
+  const TransferTask clean = GenerateTransferTask("BBBP", 200, 19, 0.0);
+  const TransferTask noisy = GenerateTransferTask("BBBP", 200, 19, 0.3);
+  int flipped = 0;
+  for (size_t i = 0; i < clean.graphs.size(); ++i) {
+    if (clean.graphs[i].label != noisy.graphs[i].label) ++flipped;
+  }
+  EXPECT_GT(flipped, 30);
+  EXPECT_LT(flipped, 90);
+}
+
+TEST(TransferTaskDeathTest, UnknownTaskAborts) {
+  EXPECT_DEATH(GenerateTransferTask("NOPE", 10, 1), "unknown");
+}
+
+TEST(TransferTaskTest, PropertySignalSurvivesNoise) {
+  // With moderate label noise, the defining property must still score
+  // a clearly-above-chance ROC-AUC — otherwise the task ceiling would
+  // be at chance and Table VI meaningless.
+  const TransferTask task = GenerateTransferTask("BBBP", 200, 29, 0.1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const Graph& g : task.graphs) {
+    scores.push_back(RingCount(g) + 0.3 * MaxDegree(g));
+    labels.push_back(g.label);
+  }
+  EXPECT_GT(RocAuc(scores, labels), 0.75);
+}
+
+TEST(TransferTaskTest, NoiseLowersTheCeiling) {
+  auto auc_at = [](double noise) {
+    const TransferTask task = GenerateTransferTask("Tox21", 300, 31, noise);
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (const Graph& g : task.graphs) {
+      scores.push_back(AtomFraction(g, 1));
+      labels.push_back(g.label);
+    }
+    return RocAuc(scores, labels);
+  };
+  EXPECT_GT(auc_at(0.0), auc_at(0.3) + 0.05);
+}
+
+TEST(TransferTaskTest, Determinism) {
+  const TransferTask a = GenerateTransferTask("Tox21", 60, 23);
+  const TransferTask b = GenerateTransferTask("Tox21", 60, 23);
+  for (size_t i = 0; i < a.graphs.size(); ++i) {
+    EXPECT_EQ(a.graphs[i].label, b.graphs[i].label);
+    EXPECT_EQ(a.graphs[i].edges, b.graphs[i].edges);
+  }
+}
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/probes.h"
+#include "eval/similarity.h"
+#include "eval/spectrum.h"
+#include "eval/tsne.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+// Two well-separated Gaussian blobs in d dims with labels 0/1.
+std::pair<Matrix, std::vector<int>> TwoBlobs(int n_per_class, int dim,
+                                             double separation,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(2 * n_per_class, dim);
+  std::vector<int> y(2 * n_per_class);
+  for (int i = 0; i < 2 * n_per_class; ++i) {
+    const int label = i < n_per_class ? 0 : 1;
+    y[i] = label;
+    for (int j = 0; j < dim; ++j) {
+      x(i, j) = rng.Normal(label == 0 ? -separation : separation, 1.0);
+    }
+  }
+  return {x, y};
+}
+
+TEST(ProbeTest, LogisticSeparatesBlobs) {
+  const auto [x, y] = TwoBlobs(40, 4, 2.0, 1);
+  ProbeOptions options;
+  options.kind = ProbeKind::kLogistic;
+  LinearProbe probe = LinearProbe::Fit(x, y, 2, options);
+  EXPECT_GT(Accuracy(probe.Predict(x), y), 0.95);
+}
+
+TEST(ProbeTest, SvmSeparatesBlobs) {
+  const auto [x, y] = TwoBlobs(40, 4, 2.0, 2);
+  ProbeOptions options;
+  options.kind = ProbeKind::kLinearSvm;
+  LinearProbe probe = LinearProbe::Fit(x, y, 2, options);
+  EXPECT_GT(Accuracy(probe.Predict(x), y), 0.95);
+}
+
+TEST(ProbeTest, MulticlassLogistic) {
+  Rng rng(3);
+  const int per_class = 30, classes = 4, dim = 6;
+  Matrix means = Matrix::RandomNormal(classes, dim, rng, 0.0, 4.0);
+  Matrix x(per_class * classes, dim);
+  std::vector<int> y(per_class * classes);
+  for (int i = 0; i < x.rows(); ++i) {
+    y[i] = i % classes;
+    for (int j = 0; j < dim; ++j) {
+      x(i, j) = means(y[i], j) + rng.Normal(0, 0.5);
+    }
+  }
+  ProbeOptions options;
+  options.kind = ProbeKind::kLogistic;
+  LinearProbe probe = LinearProbe::Fit(x, y, classes, options);
+  EXPECT_GT(Accuracy(probe.Predict(x), y), 0.9);
+}
+
+TEST(ProbeTest, ScoresShape) {
+  const auto [x, y] = TwoBlobs(10, 3, 1.0, 4);
+  LinearProbe probe = LinearProbe::Fit(x, y, 2, {});
+  const Matrix scores = probe.Scores(x);
+  EXPECT_EQ(scores.rows(), x.rows());
+  EXPECT_EQ(scores.cols(), 2);
+}
+
+TEST(ProbeDeathTest, LabelOutOfRangeAborts) {
+  const Matrix x(4, 2, 1.0);
+  EXPECT_DEATH(LinearProbe::Fit(x, {0, 1, 2, 0}, 2, {}), "GRADGCL_CHECK");
+}
+
+TEST(AccuracyTest, KnownFractions) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({1}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+}
+
+TEST(RocAucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(5);
+  std::vector<double> scores(2000);
+  std::vector<int> labels(2000);
+  for (int i = 0; i < 2000; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.05);
+}
+
+TEST(RocAucTest, TiesHandledByMidrank) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 1, 1}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(RocAucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+}
+
+TEST(RocAucTest, MonotoneTransformInvariant) {
+  const std::vector<int> labels = {0, 1, 0, 1, 1, 0, 1};
+  const std::vector<double> scores = {0.1, 0.4, 0.35, 0.8, 0.65, 0.2, 0.9};
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(std::exp(3.0 * s));
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), RocAuc(transformed, labels));
+}
+
+TEST(ConfusionMatrixTest, KnownCounts) {
+  const Matrix confusion =
+      ConfusionMatrix({0, 1, 1, 0, 2}, {0, 1, 0, 0, 2}, 3);
+  EXPECT_DOUBLE_EQ(confusion(0, 0), 2.0);  // two correct class-0
+  EXPECT_DOUBLE_EQ(confusion(0, 1), 1.0);  // one 0 predicted as 1
+  EXPECT_DOUBLE_EQ(confusion(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(confusion.Sum(), 5.0);
+}
+
+TEST(MacroF1Test, PerfectPredictionsGiveOne) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2, 0}, {0, 1, 2, 0}, 3), 1.0);
+}
+
+TEST(MacroF1Test, KnownBinaryCase) {
+  // preds: {1,1,0,0}, labels: {1,0,0,0}.
+  // class 1: tp=1 fp=1 fn=0 -> F1 = 2/3; class 0: tp=2 fp=0 fn=1 -> 0.8.
+  EXPECT_NEAR(MacroF1({1, 1, 0, 0}, {1, 0, 0, 0}, 2), (2.0 / 3 + 0.8) / 2,
+              1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassSkipped) {
+  // Class 2 never appears: average over the two present classes only.
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1}, {0, 1}, 3), 1.0);
+}
+
+TEST(KFoldTest, PartitionProperties) {
+  Rng rng(6);
+  const std::vector<std::vector<int>> splits = KFoldSplits(25, 4, rng);
+  ASSERT_EQ(splits.size(), 4u);
+  std::set<int> all;
+  for (const auto& fold : splits) {
+    EXPECT_GE(fold.size(), 6u);
+    all.insert(fold.begin(), fold.end());
+  }
+  EXPECT_EQ(all.size(), 25u);
+}
+
+TEST(CrossValidationTest, SeparableEmbeddingsScoreHigh) {
+  const auto [x, y] = TwoBlobs(30, 4, 3.0, 7);
+  const ScoreSummary summary =
+      CrossValidateAccuracy(x, y, 2, 5, {}, /*seed=*/8);
+  EXPECT_GT(summary.mean, 0.9);
+  EXPECT_EQ(summary.count, 5);
+}
+
+TEST(CrossValidationTest, RandomEmbeddingsScoreNearChance) {
+  Rng rng(9);
+  const Matrix x = Matrix::RandomNormal(80, 6, rng);
+  std::vector<int> y(80);
+  for (int i = 0; i < 80; ++i) y[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  const ScoreSummary summary =
+      CrossValidateAccuracy(x, y, 2, 5, {}, /*seed=*/10);
+  EXPECT_NEAR(summary.mean, 0.5, 0.18);
+}
+
+TEST(ProbeTest, FitIsDeterministicInSeed) {
+  const auto [x, y] = TwoBlobs(20, 3, 1.0, 21);
+  ProbeOptions options;
+  options.seed = 9;
+  LinearProbe a = LinearProbe::Fit(x, y, 2, options);
+  LinearProbe b = LinearProbe::Fit(x, y, 2, options);
+  EXPECT_TRUE(AllClose(a.Scores(x), b.Scores(x), 0.0));
+}
+
+TEST(CrossValidationTest, LogisticAndSvmBothWork) {
+  const auto [x, y] = TwoBlobs(25, 4, 2.5, 22);
+  for (ProbeKind kind : {ProbeKind::kLogistic, ProbeKind::kLinearSvm}) {
+    ProbeOptions options;
+    options.kind = kind;
+    const ScoreSummary s = CrossValidateAccuracy(x, y, 2, 5, options, 23);
+    EXPECT_GT(s.mean, 0.85) << static_cast<int>(kind);
+  }
+}
+
+TEST(SummarizeTest, MeanAndStd) {
+  const ScoreSummary s = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(Summarize({5.0}).stddev, 0.0);
+}
+
+// --- Spectrum -------------------------------------------------------------------
+
+TEST(SpectrumEvalTest, DetectsPlantedCollapse) {
+  Rng rng(11);
+  Matrix basis = Matrix::RandomNormal(3, 10, rng);
+  Matrix coeffs = Matrix::RandomNormal(60, 3, rng);
+  const SpectrumReport report = AnalyzeSpectrum(MatMul(coeffs, basis));
+  EXPECT_EQ(report.surviving_dims, 3);
+  EXPECT_LE(report.effective_rank, 3.1);
+  ASSERT_EQ(report.log10_values.size(), 10u);
+  // Collapsed dimensions are floored.
+  EXPECT_LE(report.log10_values.back(), -10.0);
+}
+
+TEST(SpectrumEvalTest, TsvHasOneFieldPerDimension) {
+  Rng rng(12);
+  const SpectrumReport report =
+      AnalyzeSpectrum(Matrix::RandomNormal(40, 6, rng));
+  const std::string tsv = SpectrumTsv(report);
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\t'), 5);
+}
+
+// --- Similarity -----------------------------------------------------------------
+
+TEST(SimilarityTest, BlockStructureDetected) {
+  // Two tight clusters: intra >> inter.
+  Rng rng(13);
+  Matrix x(40, 6);
+  std::vector<int> y(40);
+  Matrix mean0 = Matrix::RandomNormal(1, 6, rng);
+  Matrix mean1 = Matrix::RandomNormal(1, 6, rng);
+  for (int i = 0; i < 40; ++i) {
+    y[i] = i % 2;
+    for (int j = 0; j < 6; ++j) {
+      x(i, j) = (y[i] == 0 ? mean0(0, j) : mean1(0, j)) + rng.Normal(0, 0.05);
+    }
+  }
+  const SimilarityReport report = AnalyzeSimilarity(x, y);
+  EXPECT_GT(report.intra_class_mean, 0.95);
+  EXPECT_GT(report.block_contrast, 0.1);
+}
+
+TEST(SimilarityTest, DiverseEmbeddingsHaveHigherEntropy) {
+  Rng rng(14);
+  // Collapsed: all rows nearly identical.
+  Matrix collapsed(30, 6, 1.0);
+  for (int i = 0; i < collapsed.size(); ++i) {
+    collapsed.at_flat(i) += rng.Normal(0, 0.01);
+  }
+  const Matrix diverse = Matrix::RandomNormal(30, 6, rng);
+  std::vector<int> y(30);
+  for (int i = 0; i < 30; ++i) y[i] = i % 2;
+  const SimilarityReport c = AnalyzeSimilarity(collapsed, y);
+  const SimilarityReport d = AnalyzeSimilarity(diverse, y);
+  EXPECT_GT(d.similarity_entropy, c.similarity_entropy);
+  EXPECT_GT(d.similarity_stddev, c.similarity_stddev);
+}
+
+TEST(SimilarityTest, AsciiHeatmapDimensions) {
+  Rng rng(15);
+  const Matrix x = Matrix::RandomNormal(30, 4, rng);
+  std::vector<int> y(30, 0);
+  const std::string heatmap = AsciiSimilarityHeatmap(x, y, 10);
+  EXPECT_EQ(std::count(heatmap.begin(), heatmap.end(), '\n'), 10);
+}
+
+// --- t-SNE ------------------------------------------------------------------------
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(16);
+  const Matrix x = Matrix::RandomNormal(30, 8, rng);
+  TsneOptions options;
+  options.iterations = 50;
+  options.perplexity = 8.0;
+  const Matrix y = Tsne(x, options);
+  EXPECT_EQ(y.rows(), 30);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_TRUE(y.AllFinite());
+}
+
+TEST(TsneTest, SeparatesDistantClusters) {
+  const auto [x, labels] = TwoBlobs(20, 6, 5.0, 17);
+  TsneOptions options;
+  options.perplexity = 10.0;
+  options.iterations = 200;
+  const Matrix y = Tsne(x, options);
+  EXPECT_GT(SilhouetteScore(y, labels), 0.3);
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  Rng rng(18);
+  const Matrix x = Matrix::RandomNormal(20, 5, rng);
+  TsneOptions options;
+  options.iterations = 30;
+  options.perplexity = 6.0;
+  EXPECT_TRUE(AllClose(Tsne(x, options), Tsne(x, options)));
+}
+
+TEST(SilhouetteTest, PerfectClustersNearOne) {
+  Matrix x{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}};
+  EXPECT_GT(SilhouetteScore(x, {0, 0, 1, 1}), 0.9);
+}
+
+TEST(SilhouetteTest, MixedClustersLow) {
+  Rng rng(19);
+  const Matrix x = Matrix::RandomNormal(40, 3, rng);
+  std::vector<int> y(40);
+  for (int i = 0; i < 40; ++i) y[i] = i % 2;  // labels unrelated to geometry
+  EXPECT_LT(std::abs(SilhouetteScore(x, y)), 0.2);
+}
+
+}  // namespace
+}  // namespace gradgcl

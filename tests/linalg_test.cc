@@ -1,0 +1,179 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, TwoByTwoAnalytic) {
+  // Eigenvalues of [[2, 1], [1, 2]] are 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Rng rng(3);
+  Matrix base = Matrix::RandomNormal(6, 6, rng);
+  Matrix a = MatMulTransB(base, base);  // symmetric PSD
+  EigenResult eig = SymmetricEigen(a);
+  // A = V diag(λ) V^T.
+  Matrix lam(6, 6, 0.0);
+  for (int i = 0; i < 6; ++i) lam(i, i) = eig.eigenvalues[i];
+  Matrix rebuilt =
+      MatMul(MatMul(eig.eigenvectors, lam), eig.eigenvectors.Transposed());
+  EXPECT_TRUE(AllClose(rebuilt, a, 1e-8));
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  Matrix base = Matrix::RandomNormal(5, 5, rng);
+  Matrix a = base + base.Transposed();
+  EigenResult eig = SymmetricEigen(a);
+  Matrix gram = MatMulTransA(eig.eigenvectors, eig.eigenvectors);
+  EXPECT_TRUE(AllClose(gram, Matrix::Identity(5), 1e-8));
+}
+
+TEST(SvdTest, KnownSingularValues) {
+  // diag(3, 2) embedded in 3x2: singular values 3, 2.
+  Matrix a{{3, 0}, {0, 2}, {0, 0}};
+  std::vector<double> sv = SingularValues(a);
+  ASSERT_EQ(sv.size(), 2u);
+  EXPECT_NEAR(sv[0], 3.0, 1e-8);
+  EXPECT_NEAR(sv[1], 2.0, 1e-8);
+}
+
+TEST(SvdTest, RankDeficiencyDetected) {
+  // Rank-1 matrix: second singular value ~0.
+  Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  std::vector<double> sv = SingularValues(a);
+  EXPECT_GT(sv[0], 1.0);
+  EXPECT_NEAR(sv[1], 0.0, 1e-7);
+}
+
+TEST(SvdTest, FrobeniusIdentity) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomNormal(8, 5, rng);
+  std::vector<double> sv = SingularValues(a);
+  double sum_sq = 0.0;
+  for (double s : sv) sum_sq += s * s;
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-8);
+}
+
+TEST(CovarianceTest, KnownTwoPointCloud) {
+  // Points (1, 0) and (-1, 0): covariance diag(1, 0).
+  Matrix x{{1, 0}, {-1, 0}};
+  Matrix c = Covariance(x);
+  EXPECT_TRUE(AllClose(c, Matrix{{1, 0}, {0, 0}}, 1e-12));
+}
+
+TEST(CovarianceTest, MeanInvariant) {
+  Rng rng(9);
+  Matrix x = Matrix::RandomNormal(20, 4, rng);
+  Matrix shifted = AddRowBroadcast(x, Matrix{{5, -3, 2, 100}});
+  EXPECT_TRUE(AllClose(Covariance(x), Covariance(shifted), 1e-9));
+}
+
+TEST(SpectrumTest, LowRankDataCollapses) {
+  // 40 points spanning only 2 of 6 dimensions -> 4 zero singular values.
+  Rng rng(11);
+  Matrix basis = Matrix::RandomNormal(2, 6, rng);
+  Matrix coeffs = Matrix::RandomNormal(40, 2, rng);
+  Matrix x = MatMul(coeffs, basis);
+  std::vector<double> spectrum = CovarianceSpectrum(x);
+  ASSERT_EQ(spectrum.size(), 6u);
+  EXPECT_GT(spectrum[1], 1e-6);
+  for (int i = 2; i < 6; ++i) EXPECT_NEAR(spectrum[i], 0.0, 1e-8);
+  EXPECT_EQ(RankAtThreshold(spectrum, 1e-6), 2);
+}
+
+TEST(SpectrumTest, FullRankDataSurvives) {
+  Rng rng(13);
+  Matrix x = Matrix::RandomNormal(100, 6, rng);
+  std::vector<double> spectrum = CovarianceSpectrum(x);
+  EXPECT_EQ(RankAtThreshold(spectrum, 1e-3), 6);
+}
+
+TEST(EffectiveRankTest, UniformSpectrumEqualsDimension) {
+  EXPECT_NEAR(EffectiveRank({1, 1, 1, 1}), 4.0, 1e-9);
+}
+
+TEST(EffectiveRankTest, SingleDirectionIsOne) {
+  EXPECT_NEAR(EffectiveRank({5, 0, 0, 0}), 1.0, 1e-9);
+}
+
+TEST(EffectiveRankTest, MonotoneInSpread) {
+  const double balanced = EffectiveRank({1, 1, 1, 1});
+  const double skewed = EffectiveRank({10, 1, 1, 1});
+  EXPECT_GT(balanced, skewed);
+  EXPECT_GT(skewed, 1.0);
+}
+
+TEST(EffectiveRankTest, ZeroSpectrumIsZero) {
+  EXPECT_DOUBLE_EQ(EffectiveRank({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveRank({}), 0.0);
+}
+
+TEST(RankAtThresholdTest, EmptyAndZeroInputs) {
+  EXPECT_EQ(RankAtThreshold({}, 0.5), 0);
+  EXPECT_EQ(RankAtThreshold({0, 0}, 0.5), 0);
+}
+
+TEST(SolveLinearTest, KnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  Matrix b{{5}, {10}};
+  Matrix x = SolveLinear(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-10);
+}
+
+TEST(SolveLinearTest, MultipleRightHandSides) {
+  Rng rng(15);
+  Matrix a = Matrix::RandomNormal(5, 5, rng);
+  a += Matrix::Identity(5) * 5.0;  // ensure well-conditioned
+  Matrix x_true = Matrix::RandomNormal(5, 3, rng);
+  Matrix b = MatMul(a, x_true);
+  EXPECT_TRUE(AllClose(SolveLinear(a, b), x_true, 1e-8));
+}
+
+TEST(SolveLinearDeathTest, SingularMatrixAborts) {
+  Matrix a{{1, 2}, {2, 4}};
+  Matrix b{{1}, {1}};
+  EXPECT_DEATH(SolveLinear(a, b), "singular");
+}
+
+// Spectrum diagnostics must be stable across representation sizes —
+// the paper's Fig. 1 sweeps dimensions {80, 160, 320, 640}.
+class SpectrumDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpectrumDimSweep, RankMatchesPlantedSubspace) {
+  const int dim = GetParam();
+  const int rank = dim / 4;
+  Rng rng(17);
+  Matrix basis = Matrix::RandomNormal(rank, dim, rng);
+  Matrix coeffs = Matrix::RandomNormal(3 * dim, rank, rng);
+  std::vector<double> spectrum = CovarianceSpectrum(MatMul(coeffs, basis));
+  EXPECT_EQ(RankAtThreshold(spectrum, 1e-6), rank);
+  EXPECT_LE(EffectiveRank(spectrum), rank + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SpectrumDimSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+}  // namespace
+}  // namespace gradgcl

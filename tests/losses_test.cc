@@ -1,0 +1,270 @@
+#include "losses/contrastive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "losses/metrics.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+using VarList = std::vector<Variable>;
+
+Variable Param(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Variable(Matrix::RandomNormal(rows, cols, rng), true);
+}
+
+void ExpectGradOk(const std::function<Variable(const VarList&)>& forward,
+                  VarList inputs, double tol = 1e-6) {
+  const ag::GradCheckResult result =
+      ag::CheckGradients(forward, std::move(inputs), 1e-5, tol);
+  EXPECT_TRUE(result.ok) << "max error " << result.max_abs_error << " at "
+                         << result.worst_entry;
+}
+
+// --- InfoNCE ------------------------------------------------------------------
+
+TEST(InfoNceTest, GradCheck) {
+  ExpectGradOk(
+      [](const VarList& in) { return InfoNce(in[0], in[1], 0.5); },
+      {Param(4, 3, 1), Param(4, 3, 2)}, 1e-5);
+}
+
+TEST(InfoNceTest, AlignedPositivesBeatMisaligned) {
+  // u == v (perfect alignment) must score lower loss than u == -v.
+  Variable u = Param(6, 4, 3);
+  Variable v_good(u.value());
+  Variable v_bad(u.value() * -1.0);
+  EXPECT_LT(InfoNce(u, v_good, 0.5).scalar(),
+            InfoNce(u, v_bad, 0.5).scalar());
+}
+
+TEST(InfoNceTest, HandComputedTwoSamples) {
+  // n = 2, orthogonal unit vectors; positives aligned exactly.
+  Variable u(Matrix{{1, 0}, {0, 1}});
+  Variable v(Matrix{{1, 0}, {0, 1}});
+  const double tau = 1.0;
+  // For each direction and each i: pos = 1/τ, denominator = exp(s_i,j≠i/τ)
+  // = exp(0). Loss_i = log(exp(0)) − 1 = −1.
+  EXPECT_NEAR(InfoNce(u, v, tau).scalar(), -1.0, 1e-9);
+}
+
+TEST(InfoNceTest, ScaleInvariantThroughNormalisation) {
+  Variable u = Param(5, 3, 4);
+  Variable v = Param(5, 3, 5);
+  Variable u_scaled(u.value() * 10.0);
+  Variable v_scaled(v.value() * 0.1);
+  EXPECT_NEAR(InfoNce(u, v, 0.5).scalar(),
+              InfoNce(u_scaled, v_scaled, 0.5).scalar(), 1e-9);
+}
+
+TEST(InfoNceTest, TemperatureChangesLoss) {
+  Variable u = Param(5, 3, 6);
+  Variable v = Param(5, 3, 7);
+  EXPECT_NE(InfoNce(u, v, 0.2).scalar(), InfoNce(u, v, 1.0).scalar());
+}
+
+TEST(InfoNceDeathTest, RequiresTwoSamples) {
+  Variable u = Param(1, 3, 8);
+  Variable v = Param(1, 3, 9);
+  EXPECT_DEATH(InfoNce(u, v, 0.5), ">= 2");
+}
+
+// --- Euclidean InfoNCE (Eq. 20) -------------------------------------------------
+
+TEST(InfoNceEuclideanTest, GradCheck) {
+  ExpectGradOk(
+      [](const VarList& in) { return InfoNceEuclidean(in[0], in[1]); },
+      {Param(4, 3, 10), Param(4, 3, 11)}, 1e-5);
+}
+
+TEST(InfoNceEuclideanTest, HandComputedValue) {
+  // Two samples in 1-D: u = (0), (10); v = u (positives at distance 0).
+  Variable u(Matrix{{0.0}, {10.0}});
+  Variable v(Matrix{{0.0}, {10.0}});
+  // For sample 0: pos = exp(0) = 1, negative exp(-50) ~ 0; denominator
+  // ~ 1, loss_0 ~ -log(1/1) = 0. Same for sample 1.
+  EXPECT_NEAR(InfoNceEuclidean(u, v).scalar(), 0.0, 1e-9);
+}
+
+TEST(InfoNceEuclideanTest, ClusteredNegativesRaiseLoss) {
+  Variable u_far(Matrix{{0.0}, {10.0}});
+  Variable u_near(Matrix{{0.0}, {0.5}});
+  Variable v_far(u_far.value());
+  Variable v_near(u_near.value());
+  EXPECT_GT(InfoNceEuclidean(u_near, v_near).scalar(),
+            InfoNceEuclidean(u_far, v_far).scalar());
+}
+
+// --- JSD -------------------------------------------------------------------------
+
+TEST(JsdTest, GradCheck) {
+  ExpectGradOk([](const VarList& in) { return JsdLoss(in[0], in[1]); },
+               {Param(4, 3, 12), Param(4, 3, 13)}, 1e-5);
+}
+
+TEST(JsdTest, PositiveAlignmentLowersLoss) {
+  Variable u = Param(6, 4, 14);
+  Variable aligned(u.value());
+  Rng rng(15);
+  Variable random(Matrix::RandomNormal(6, 4, rng));
+  EXPECT_LT(JsdLoss(u, aligned).scalar(), JsdLoss(u, random).scalar());
+}
+
+TEST(JsdMaskedTest, GradCheck) {
+  Matrix mask(4, 3, 0.0);
+  mask(0, 0) = mask(1, 1) = mask(2, 2) = mask(3, 0) = 1.0;
+  ExpectGradOk(
+      [mask](const VarList& in) {
+        return JsdLossMasked(ag::MatMulTransB(in[0], in[1]), mask);
+      },
+      {Param(4, 5, 16), Param(3, 5, 17)}, 1e-5);
+}
+
+TEST(JsdMaskedDeathTest, AllPositiveMaskAborts) {
+  Variable scores = Param(2, 2, 18);
+  EXPECT_DEATH(JsdLossMasked(scores, Matrix(2, 2, 1.0)), "negatives");
+}
+
+// --- SCE --------------------------------------------------------------------------
+
+TEST(SceTest, GradCheck) {
+  ExpectGradOk(
+      [](const VarList& in) { return SceLoss(in[0], in[1], 2.0); },
+      {Param(4, 3, 19), Param(4, 3, 20)}, 1e-4);
+}
+
+TEST(SceTest, PerfectReconstructionIsZero) {
+  Variable u = Param(5, 4, 21);
+  Variable v(u.value());
+  EXPECT_NEAR(SceLoss(u, v).scalar(), 0.0, 1e-9);
+}
+
+TEST(SceTest, AntiAlignedIsMaximal) {
+  Variable u = Param(5, 4, 22);
+  Variable v(u.value() * -1.0);
+  // (1 - (-1))^2 = 4 per row.
+  EXPECT_NEAR(SceLoss(u, v, 2.0).scalar(), 4.0, 1e-6);
+}
+
+TEST(SceTest, GammaSharpensPenalty) {
+  Variable u = Param(5, 4, 23);
+  Rng rng(24);
+  Variable v(Matrix::RandomNormal(5, 4, rng));
+  // For partial misalignment, higher gamma shrinks sub-1 losses.
+  const double g1 = SceLoss(u, v, 1.0).scalar();
+  const double g3 = SceLoss(u, v, 3.0).scalar();
+  EXPECT_NE(g1, g3);
+}
+
+// --- Bootstrap & alignment ------------------------------------------------------
+
+TEST(BootstrapTest, GradCheck) {
+  // The target branch is detached in real use, so check gradients only
+  // through the online branch (a constant target here).
+  Rng rng(26);
+  const Matrix target = Matrix::RandomNormal(4, 3, rng);
+  ExpectGradOk(
+      [target](const VarList& in) {
+        return BootstrapLoss(in[0], Variable(target));
+      },
+      {Param(4, 3, 25)}, 1e-5);
+}
+
+TEST(BootstrapTest, IdenticalViewsGiveZero) {
+  Variable u = Param(5, 4, 27);
+  EXPECT_NEAR(BootstrapLoss(u, Variable(u.value())).scalar(), 0.0, 1e-9);
+}
+
+TEST(BootstrapTest, RangeIsZeroToFour) {
+  Variable u = Param(5, 4, 28);
+  Variable anti(u.value() * -1.0);
+  EXPECT_NEAR(BootstrapLoss(u, anti).scalar(), 4.0, 1e-9);
+}
+
+TEST(AlignmentLossTest, GradCheckAndZeroAtIdentity) {
+  ExpectGradOk(
+      [](const VarList& in) { return AlignmentLoss(in[0], in[1]); },
+      {Param(4, 3, 29), Param(4, 3, 30)}, 1e-5);
+  Variable u = Param(5, 4, 31);
+  EXPECT_NEAR(AlignmentLoss(u, Variable(u.value())).scalar(), 0.0, 1e-9);
+}
+
+TEST(ContrastiveDispatchTest, AllKindsReturnFinite) {
+  Variable u = Param(5, 4, 32);
+  Variable v = Param(5, 4, 33);
+  for (LossKind kind : {LossKind::kInfoNce, LossKind::kJsd, LossKind::kSce}) {
+    EXPECT_TRUE(ContrastiveLoss(kind, u, v, 0.5).value().AllFinite());
+  }
+}
+
+// --- Softplus ---------------------------------------------------------------------
+
+TEST(SoftplusTest, MatchesReference) {
+  Variable x(Matrix{{-3, -1, 0, 1, 3}});
+  const Matrix y = Softplus(x).value();
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_NEAR(y(0, j), std::log1p(std::exp(x.value()(0, j))), 1e-10);
+  }
+}
+
+TEST(SoftplusTest, StableAtExtremes) {
+  Variable x(Matrix{{-800, 800}});
+  const Matrix y = Softplus(x).value();
+  EXPECT_TRUE(y.AllFinite());
+  EXPECT_NEAR(y(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(y(0, 1), 800.0, 1e-9);
+}
+
+// --- Alignment & uniformity metrics (Eqs. 24–25) ----------------------------------
+
+TEST(MetricsTest, AlignmentZeroForIdenticalViews) {
+  Rng rng(34);
+  const Matrix u = Matrix::RandomNormal(10, 4, rng);
+  EXPECT_NEAR(AlignmentMetric(u, u), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, AlignmentGrowsWithPerturbation) {
+  Rng rng(35);
+  const Matrix u = Matrix::RandomNormal(10, 4, rng);
+  const Matrix small = u + Matrix::RandomNormal(10, 4, rng, 0.0, 0.01);
+  const Matrix large = u + Matrix::RandomNormal(10, 4, rng, 0.0, 1.0);
+  EXPECT_LT(AlignmentMetric(u, small), AlignmentMetric(u, large));
+}
+
+TEST(MetricsTest, UniformityPrefersSpreadPoints) {
+  // All points identical: exp(0) = 1 -> uniformity = 0 (worst).
+  const Matrix clumped(8, 3, 1.0);
+  EXPECT_NEAR(UniformityMetric(clumped), 0.0, 1e-12);
+  // Spread points: strictly negative.
+  Rng rng(36);
+  const Matrix spread = Matrix::RandomNormal(8, 3, rng);
+  EXPECT_LT(UniformityMetric(spread), -0.1);
+}
+
+TEST(MetricsTest, UniformityKnownTwoPointValue) {
+  // Antipodal unit vectors: d² = 4, uniformity = log(exp(-2t · 4 / 2)).
+  const Matrix x{{1, 0}, {-1, 0}};
+  EXPECT_NEAR(UniformityMetric(x, 2.0), -8.0, 1e-9);
+}
+
+// τ sweep: gradcheck must hold across temperatures (the losses divide
+// by τ in several places).
+class TauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauSweep, InfoNceGradCheck) {
+  const double tau = GetParam();
+  ExpectGradOk(
+      [tau](const VarList& in) { return InfoNce(in[0], in[1], tau); },
+      {Param(3, 4, 37), Param(3, 4, 38)}, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, TauSweep,
+                         ::testing::Values(0.1, 0.2, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace gradgcl

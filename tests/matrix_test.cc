@@ -1,0 +1,292 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m.at_flat(i), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m.data()[0], 1);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3);
+  EXPECT_DOUBLE_EQ(m.data()[3], 4);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RandomNormalMoments) {
+  Rng rng(5);
+  Matrix m = Matrix::RandomNormal(100, 100, rng, 2.0, 3.0);
+  EXPECT_NEAR(m.Mean(), 2.0, 0.1);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  Rng rng(5);
+  Matrix m = Matrix::GlorotUniform(10, 30, rng);
+  const double limit = std::sqrt(6.0 / 40.0);
+  EXPECT_LE(m.Max(), limit);
+  EXPECT_GE(m.Min(), -limit);
+}
+
+TEST(MatrixTest, VectorFactories) {
+  Matrix col = Matrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3);
+  EXPECT_EQ(col.cols(), 1);
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 3);
+  EXPECT_DOUBLE_EQ(col(2, 0), 3);
+  EXPECT_DOUBLE_EQ(row(0, 2), 3);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3);
+  EXPECT_TRUE(AllClose(t.Transposed(), m));
+}
+
+TEST(MatrixTest, RowAndCol) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_TRUE(AllClose(m.Row(1), Matrix{{3, 4}}));
+  EXPECT_TRUE(AllClose(m.Col(0), Matrix{{1}, {3}, {5}}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2, 0.0);
+  m.SetRow(1, Matrix{{7, 8}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 7);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0);
+}
+
+TEST(MatrixTest, RowSlice) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Matrix s = m.RowSlice(1, 3);
+  EXPECT_TRUE(AllClose(s, Matrix{{3, 4}, {5, 6}}));
+  EXPECT_EQ(m.RowSlice(1, 1).rows(), 0);
+}
+
+TEST(MatrixTest, Gather) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Matrix g = m.Gather({2, 0, 0});
+  EXPECT_TRUE(AllClose(g, Matrix{{5, 6}, {1, 2}, {1, 2}}));
+}
+
+TEST(MatrixTest, Reshape) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  m.Reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);  // row-major reinterpretation
+}
+
+TEST(MatrixTest, CompoundArithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 1}, {1, 1}};
+  a += b;
+  EXPECT_TRUE(AllClose(a, Matrix{{2, 3}, {4, 5}}));
+  a -= b;
+  EXPECT_TRUE(AllClose(a, Matrix{{1, 2}, {3, 4}}));
+  a *= 2.0;
+  EXPECT_TRUE(AllClose(a, Matrix{{2, 4}, {6, 8}}));
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m.Sum(), 10);
+  EXPECT_DOUBLE_EQ(m.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.Min(), 1);
+  EXPECT_DOUBLE_EQ(m.Max(), 4);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(30.0));
+}
+
+TEST(MatrixTest, AllFinite) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(m.AllFinite());
+  m(0, 0) = 1e308 * 10;  // inf
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, AllCloseRespectsShapeAndTolerance) {
+  Matrix a{{1, 2}};
+  Matrix b{{1, 2.0005}};
+  EXPECT_FALSE(AllClose(a, b, 1e-4));
+  EXPECT_TRUE(AllClose(a, b, 1e-3));
+  EXPECT_FALSE(AllClose(a, Matrix{{1}, {2}}));
+}
+
+TEST(MatrixTest, ToStringMentionsShape) {
+  Matrix m(3, 4, 0.0);
+  EXPECT_NE(m.ToString().find("3x4"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, OutOfRangeAccessAborts) {
+  Matrix m(2, 2, 0.0);
+  EXPECT_DEATH(m(2, 0), "GRADGCL_CHECK");
+  EXPECT_DEATH(m(0, -1), "GRADGCL_CHECK");
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 2, 0.0);
+  Matrix b(2, 3, 0.0);
+  EXPECT_DEATH(a += b, "GRADGCL_CHECK");
+  EXPECT_DEATH(a.Reshape(3, 3), "GRADGCL_CHECK");
+  EXPECT_DEATH(a.Gather({5}), "GRADGCL_CHECK");
+}
+
+// --- tensor/ops.h kernels ---------------------------------------------------
+
+TEST(OpsTest, MatMulKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_TRUE(AllClose(MatMul(a, b), Matrix{{19, 22}, {43, 50}}));
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(4, 4, rng);
+  EXPECT_TRUE(AllClose(MatMul(a, Matrix::Identity(4)), a, 1e-12));
+}
+
+TEST(OpsTest, MatMulTransVariantsAgree) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomNormal(3, 5, rng);
+  Matrix b = Matrix::RandomNormal(5, 4, rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(a.Transposed(), b), MatMul(a, b), 1e-10));
+  EXPECT_TRUE(
+      AllClose(MatMulTransB(a, b.Transposed()), MatMul(a, b), 1e-10));
+}
+
+TEST(OpsTest, HadamardElementwise) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {0.5, 1}};
+  EXPECT_TRUE(AllClose(Hadamard(a, b), Matrix{{2, 4}, {1.5, 4}}));
+}
+
+TEST(OpsTest, ElementwiseMaps) {
+  Matrix a{{0, 1}};
+  EXPECT_TRUE(AllClose(Exp(a), Matrix{{1, std::exp(1.0)}}, 1e-12));
+  EXPECT_TRUE(AllClose(Relu(Matrix{{-2, 3}}), Matrix{{0, 3}}));
+  EXPECT_TRUE(AllClose(Abs(Matrix{{-2, 3}}), Matrix{{2, 3}}));
+  EXPECT_TRUE(AllClose(Sqrt(Matrix{{4, 9}}), Matrix{{2, 3}}, 1e-12));
+}
+
+TEST(OpsTest, RowAndColReductions) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(AllClose(RowSum(m), Matrix{{3}, {7}}));
+  EXPECT_TRUE(AllClose(RowMean(m), Matrix{{1.5}, {3.5}}));
+  EXPECT_TRUE(AllClose(RowMax(m), Matrix{{2}, {4}}));
+  EXPECT_TRUE(AllClose(ColSum(m), Matrix{{4, 6}}));
+  EXPECT_TRUE(AllClose(ColMean(m), Matrix{{2, 3}}));
+}
+
+TEST(OpsTest, RowNormalizeUnitNorms) {
+  Matrix m{{3, 4}, {0, 0}, {1, 0}};
+  Matrix n = RowNormalize(m);
+  EXPECT_NEAR(n(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(n(0, 1), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(n(1, 0), 0.0);  // zero row passes through
+  EXPECT_DOUBLE_EQ(n(2, 0), 1.0);
+}
+
+TEST(OpsTest, RowSoftmaxSumsToOne) {
+  Matrix m{{1, 2, 3}, {1000, 1000, 1000}};  // second row tests stability
+  Matrix s = RowSoftmax(m);
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) sum += s(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(s(1, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(OpsTest, CosineSimilarityDiagonalOnes) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomNormal(5, 8, rng);
+  Matrix sim = CosineSimilarityMatrix(a, a);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(sim(i, i), 1.0, 1e-9);
+  EXPECT_LE(sim.Max(), 1.0 + 1e-9);
+  EXPECT_GE(sim.Min(), -1.0 - 1e-9);
+}
+
+TEST(OpsTest, SquaredDistanceMatchesDirect) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomNormal(4, 6, rng);
+  Matrix b = Matrix::RandomNormal(3, 6, rng);
+  Matrix d2 = SquaredDistanceMatrix(a, b);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double expected = 0.0;
+      for (int k = 0; k < 6; ++k) {
+        const double d = a(i, k) - b(j, k);
+        expected += d * d;
+      }
+      EXPECT_NEAR(d2(i, j), expected, 1e-9);
+    }
+  }
+}
+
+TEST(OpsTest, BroadcastAndScaleRows) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(
+      AllClose(AddRowBroadcast(m, Matrix{{10, 20}}), Matrix{{11, 22}, {13, 24}}));
+  EXPECT_TRUE(
+      AllClose(ScaleRows(m, Matrix{{2}, {0.5}}), Matrix{{2, 4}, {1.5, 2}}));
+}
+
+TEST(OpsTest, StackingShapes) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 4}, {5, 6}};
+  EXPECT_TRUE(AllClose(VStack(a, b), Matrix{{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_TRUE(AllClose(HStack(b, b), Matrix{{3, 4, 3, 4}, {5, 6, 5, 6}}));
+}
+
+TEST(OpsDeathTest, ProductShapeMismatchAborts) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(2, 3, 1.0);
+  EXPECT_DEATH(MatMul(a, b), "MatMul shape mismatch");
+  EXPECT_DEATH(VStack(a, Matrix(1, 2, 0.0)), "GRADGCL_CHECK");
+}
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,215 @@
+// Checkpoint round-trips for every backbone: save a trained model's
+// parameters, load them into a freshly initialised twin, and require
+// bit-identical downstream embeddings. Guards the save/load pathway a
+// transfer-learning user depends on, across every model family.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datasets/node_synthetic.h"
+#include "datasets/tu_synthetic.h"
+#include "models/bgrl.h"
+#include "models/costa.h"
+#include "models/dgi.h"
+#include "models/grace.h"
+#include "models/graphcl.h"
+#include "models/graphmae.h"
+#include "models/infograph.h"
+#include "models/joao.h"
+#include "models/mvgrl.h"
+#include "models/sgcl.h"
+#include "models/simgrace.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+EncoderConfig SmallEncoder(int in_dim, EncoderKind kind) {
+  EncoderConfig config;
+  config.kind = kind;
+  config.in_dim = in_dim;
+  config.hidden_dim = 8;
+  config.out_dim = 8;
+  return config;
+}
+
+// --- Graph-level backbones ----------------------------------------------------
+
+enum class GraphBackboneId {
+  kGraphCl,
+  kJoao,
+  kSimGrace,
+  kInfoGraph,
+  kMvgrl,
+  kGraphMae
+};
+
+std::unique_ptr<GraphSslModel> MakeGraphBackbone(GraphBackboneId id,
+                                                 int in_dim, Rng& rng) {
+  switch (id) {
+    case GraphBackboneId::kGraphCl: {
+      GraphClConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.proj_dim = 8;
+      return std::make_unique<GraphCl>(c, rng);
+    }
+    case GraphBackboneId::kJoao: {
+      JoaoConfig c;
+      c.graphcl.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.graphcl.proj_dim = 8;
+      return std::make_unique<Joao>(c, rng);
+    }
+    case GraphBackboneId::kSimGrace: {
+      SimGraceConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.proj_dim = 8;
+      return std::make_unique<SimGrace>(c, rng);
+    }
+    case GraphBackboneId::kInfoGraph: {
+      InfoGraphConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.proj_dim = 8;
+      return std::make_unique<InfoGraphModel>(c, rng);
+    }
+    case GraphBackboneId::kMvgrl: {
+      MvgrlConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.proj_dim = 8;
+      c.grad_gcl.loss = LossKind::kJsd;
+      return std::make_unique<MvgrlGraph>(c, rng);
+    }
+    case GraphBackboneId::kGraphMae: {
+      GraphMaeConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGin);
+      c.grad_gcl.loss = LossKind::kSce;
+      return std::make_unique<GraphMae>(c, rng);
+    }
+  }
+  return nullptr;
+}
+
+class GraphModelCheckpoint
+    : public ::testing::TestWithParam<GraphBackboneId> {};
+
+TEST_P(GraphModelCheckpoint, SaveLoadPreservesEmbeddings) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 12;
+  const std::vector<Graph> data = GenerateTuDataset(profile, 3);
+
+  Rng rng(101);
+  auto trained = MakeGraphBackbone(GetParam(), profile.feature_dim, rng);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 6;
+  TrainGraphSsl(*trained, data, options);
+
+  const std::string path = TempPath(
+      "ckpt_graph_" + std::to_string(static_cast<int>(GetParam())) + ".ggcl");
+  ASSERT_TRUE(SaveModule(path, *trained));
+
+  Rng rng2(777);  // different initialisation
+  auto restored = MakeGraphBackbone(GetParam(), profile.feature_dim, rng2);
+  ASSERT_FALSE(
+      AllClose(trained->EmbedGraphs(data), restored->EmbedGraphs(data), 1e-6))
+      << "fresh model must differ before loading";
+  ASSERT_TRUE(LoadModule(path, *restored));
+  EXPECT_TRUE(
+      AllClose(trained->EmbedGraphs(data), restored->EmbedGraphs(data), 0.0));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackbones, GraphModelCheckpoint,
+    ::testing::Values(GraphBackboneId::kGraphCl, GraphBackboneId::kJoao,
+                      GraphBackboneId::kSimGrace, GraphBackboneId::kInfoGraph,
+                      GraphBackboneId::kMvgrl, GraphBackboneId::kGraphMae));
+
+// --- Node-level backbones ---------------------------------------------------------
+
+enum class NodeBackboneId { kGrace, kBgrl, kCosta, kSgcl, kDgi, kMvgrlNode };
+
+std::unique_ptr<NodeSslModel> MakeNodeBackbone(NodeBackboneId id, int in_dim,
+                                               Rng& rng) {
+  switch (id) {
+    case NodeBackboneId::kGrace: {
+      GraceConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      c.proj_dim = 8;
+      return std::make_unique<Grace>(c, rng);
+    }
+    case NodeBackboneId::kBgrl: {
+      BgrlConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      c.predictor_dim = 8;
+      return std::make_unique<Bgrl>(c, rng);
+    }
+    case NodeBackboneId::kCosta: {
+      CostaConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      c.proj_dim = 8;
+      return std::make_unique<Costa>(c, rng);
+    }
+    case NodeBackboneId::kSgcl: {
+      SgclConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      c.predictor_dim = 8;
+      return std::make_unique<Sgcl>(c, rng);
+    }
+    case NodeBackboneId::kDgi: {
+      DgiConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      return std::make_unique<Dgi>(c, rng);
+    }
+    case NodeBackboneId::kMvgrlNode: {
+      MvgrlConfig c;
+      c.encoder = SmallEncoder(in_dim, EncoderKind::kGcn);
+      c.proj_dim = 8;
+      c.grad_gcl.loss = LossKind::kJsd;
+      return std::make_unique<MvgrlNode>(c, rng);
+    }
+  }
+  return nullptr;
+}
+
+class NodeModelCheckpoint : public ::testing::TestWithParam<NodeBackboneId> {};
+
+TEST_P(NodeModelCheckpoint, SaveLoadPreservesEmbeddings) {
+  NodeProfile profile = NodeProfileByName("Cora");
+  profile.num_nodes = 50;
+  profile.feature_dim = 10;
+  const NodeDataset data = GenerateNodeDataset(profile, 5);
+
+  Rng rng(103);
+  auto trained = MakeNodeBackbone(GetParam(), profile.feature_dim, rng);
+  TrainOptions options;
+  options.epochs = 2;
+  TrainNodeSsl(*trained, data, options);
+
+  const std::string path = TempPath(
+      "ckpt_node_" + std::to_string(static_cast<int>(GetParam())) + ".ggcl");
+  ASSERT_TRUE(SaveModule(path, *trained));
+
+  Rng rng2(888);
+  auto restored = MakeNodeBackbone(GetParam(), profile.feature_dim, rng2);
+  ASSERT_TRUE(LoadModule(path, *restored));
+  EXPECT_TRUE(
+      AllClose(trained->EmbedNodes(data), restored->EmbedNodes(data), 0.0));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackbones, NodeModelCheckpoint,
+    ::testing::Values(NodeBackboneId::kGrace, NodeBackboneId::kBgrl,
+                      NodeBackboneId::kCosta, NodeBackboneId::kSgcl,
+                      NodeBackboneId::kDgi, NodeBackboneId::kMvgrlNode));
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,499 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/node_synthetic.h"
+#include "datasets/tu_synthetic.h"
+#include "models/bgrl.h"
+#include "models/costa.h"
+#include "models/gca.h"
+#include "models/grace.h"
+#include "models/graph2vec.h"
+#include "models/graphcl.h"
+#include "models/graphmae.h"
+#include "models/dgi.h"
+#include "models/gcn_supervised.h"
+#include "models/infograph.h"
+#include "models/joao.h"
+#include "models/mvgrl.h"
+#include "models/node2vec.h"
+#include "models/sgcl.h"
+#include "models/simgrace.h"
+#include "models/wl_kernel.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+std::vector<Graph> TinyDataset() {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 24;
+  return GenerateTuDataset(profile, 1);
+}
+
+NodeDataset TinyNodeDataset() {
+  NodeProfile profile = NodeProfileByName("Cora");
+  profile.num_nodes = 60;
+  profile.feature_dim = 12;
+  return GenerateNodeDataset(profile, 1);
+}
+
+std::vector<int> AllIndices(int n) {
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+EncoderConfig TinyEncoder(int in_dim, EncoderKind kind = EncoderKind::kGin) {
+  EncoderConfig config;
+  config.kind = kind;
+  config.in_dim = in_dim;
+  config.hidden_dim = 8;
+  config.out_dim = 8;
+  return config;
+}
+
+// Generic checks shared by all graph-level models.
+void CheckGraphModel(GraphSslModel& model, const std::vector<Graph>& data) {
+  Rng rng(2);
+  const std::vector<int> indices = AllIndices(static_cast<int>(data.size()));
+  Variable loss = model.BatchLoss(data, indices, rng);
+  ASSERT_EQ(loss.value().size(), 1);
+  EXPECT_TRUE(loss.value().AllFinite());
+
+  model.ZeroGrad();
+  Backward(model.BatchLoss(data, indices, rng));
+  double grad_norm = 0.0;
+  for (const Variable& p : model.parameters()) {
+    grad_norm += p.grad().FrobeniusNorm();
+  }
+  EXPECT_GT(grad_norm, 0.0) << "no gradient reached any parameter";
+
+  const Matrix emb = model.EmbedGraphs(data);
+  EXPECT_EQ(emb.rows(), static_cast<int>(data.size()));
+  EXPECT_TRUE(emb.AllFinite());
+}
+
+void CheckNodeModel(NodeSslModel& model, const NodeDataset& data) {
+  Rng rng(3);
+  Variable loss = model.EpochLoss(data, rng);
+  ASSERT_EQ(loss.value().size(), 1);
+  EXPECT_TRUE(loss.value().AllFinite());
+
+  model.ZeroGrad();
+  Backward(model.EpochLoss(data, rng));
+  double grad_norm = 0.0;
+  for (const Variable& p : model.parameters()) {
+    grad_norm += p.grad().FrobeniusNorm();
+  }
+  EXPECT_GT(grad_norm, 0.0);
+
+  const Matrix emb = model.EmbedNodes(data);
+  EXPECT_EQ(emb.rows(), data.graph.num_nodes);
+  EXPECT_TRUE(emb.AllFinite());
+}
+
+TEST(GraphClTest, BasicContract) {
+  const std::vector<Graph> data = TinyDataset();
+  for (double weight : {0.0, 0.5, 1.0}) {
+    Rng rng(1);
+    GraphClConfig config;
+    config.encoder = TinyEncoder(data[0].feature_dim());
+    config.proj_dim = 8;
+    config.grad_gcl.weight = weight;
+    GraphCl model(config, rng);
+    CheckGraphModel(model, data);
+  }
+}
+
+TEST(GraphClTest, FixedAugPairRespected) {
+  const std::vector<Graph> data = TinyDataset();
+  Rng rng(4);
+  GraphClConfig config;
+  config.encoder = TinyEncoder(data[0].feature_dim());
+  config.random_augs = false;
+  config.aug1 = AugmentKind::kAttrMask;
+  config.aug2 = AugmentKind::kSubgraph;
+  GraphCl model(config, rng);
+  CheckGraphModel(model, data);
+}
+
+TEST(JoaoTest, DistributionStaysNormalised) {
+  const std::vector<Graph> data = TinyDataset();
+  Rng rng(5);
+  JoaoConfig config;
+  config.graphcl.encoder = TinyEncoder(data[0].feature_dim());
+  Joao model(config, rng);
+  const std::vector<int> indices = AllIndices(static_cast<int>(data.size()));
+  for (int step = 0; step < 5; ++step) {
+    model.ZeroGrad();
+    Backward(model.BatchLoss(data, indices, rng));
+  }
+  EXPECT_NEAR(model.pair_distribution().Sum(), 1.0, 1e-9);
+  EXPECT_GE(model.pair_distribution().Min(), 0.0);
+}
+
+TEST(JoaoTest, DistributionMovesFromUniform) {
+  const std::vector<Graph> data = TinyDataset();
+  Rng rng(6);
+  JoaoConfig config;
+  config.graphcl.encoder = TinyEncoder(data[0].feature_dim());
+  config.gamma = 1.0;  // aggressive updates for the test
+  Joao model(config, rng);
+  const Matrix uniform = model.pair_distribution();
+  const std::vector<int> indices = AllIndices(static_cast<int>(data.size()));
+  for (int step = 0; step < 10; ++step) {
+    model.ZeroGrad();
+    Backward(model.BatchLoss(data, indices, rng));
+  }
+  Matrix diff = model.pair_distribution();
+  diff -= uniform;
+  EXPECT_GT(diff.FrobeniusNorm(), 1e-4);
+}
+
+TEST(SimGraceTest, BasicContract) {
+  const std::vector<Graph> data = TinyDataset();
+  for (double weight : {0.0, 0.5, 1.0}) {
+    Rng rng(7);
+    SimGraceConfig config;
+    config.encoder = TinyEncoder(data[0].feature_dim());
+    config.grad_gcl.weight = weight;
+    SimGrace model(config, rng);
+    CheckGraphModel(model, data);
+  }
+}
+
+TEST(SimGraceTest, ZeroPerturbationGivesIdenticalViews) {
+  const std::vector<Graph> data = TinyDataset();
+  Rng rng(8);
+  SimGraceConfig config;
+  config.encoder = TinyEncoder(data[0].feature_dim());
+  config.perturb_magnitude = 0.0;
+  SimGrace model(config, rng);
+  Rng view_rng(9);
+  TwoViewBatch views = model.EncodeTwoViews(
+      data, AllIndices(static_cast<int>(data.size())), view_rng);
+  EXPECT_TRUE(AllClose(views.u.value(), views.u_prime.value(), 1e-9));
+}
+
+TEST(SimGraceTest, PerturbationSeparatesViews) {
+  const std::vector<Graph> data = TinyDataset();
+  Rng rng(10);
+  SimGraceConfig config;
+  config.encoder = TinyEncoder(data[0].feature_dim());
+  config.perturb_magnitude = 1.0;
+  SimGrace model(config, rng);
+  Rng view_rng(11);
+  TwoViewBatch views = model.EncodeTwoViews(
+      data, AllIndices(static_cast<int>(data.size())), view_rng);
+  EXPECT_FALSE(AllClose(views.u.value(), views.u_prime.value(), 1e-4));
+}
+
+TEST(InfoGraphTest, BasicContract) {
+  const std::vector<Graph> data = TinyDataset();
+  for (double weight : {0.0, 0.5, 1.0}) {
+    Rng rng(12);
+    InfoGraphConfig config;
+    config.encoder = TinyEncoder(data[0].feature_dim());
+    config.grad_gcl.weight = weight;
+    InfoGraphModel model(config, rng);
+    CheckGraphModel(model, data);
+  }
+}
+
+TEST(MvgrlGraphTest, BasicContract) {
+  const std::vector<Graph> data = TinyDataset();
+  for (double weight : {0.0, 0.5}) {
+    Rng rng(13);
+    MvgrlConfig config;
+    config.encoder = TinyEncoder(data[0].feature_dim());
+    config.grad_gcl.loss = LossKind::kJsd;
+    config.grad_gcl.weight = weight;
+    MvgrlGraph model(config, rng);
+    CheckGraphModel(model, data);
+  }
+}
+
+TEST(MvgrlTest, BatchDiffusionIsBlockDiagonal) {
+  const std::vector<Graph> data = TinyDataset();
+  const SparseMatrix diff = BatchDiffusionOperator(data, {0, 1}, 0.2);
+  const Matrix dense = diff.ToDense();
+  const int n0 = data[0].num_nodes;
+  for (int i = 0; i < n0; ++i) {
+    for (int j = n0; j < dense.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(dense(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MvgrlNodeTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  for (double weight : {0.0, 0.4}) {
+    Rng rng(14);
+    MvgrlConfig config;
+    config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+    config.grad_gcl.loss = LossKind::kJsd;
+    config.grad_gcl.weight = weight;
+    MvgrlNode model(config, rng);
+    CheckNodeModel(model, data);
+  }
+}
+
+TEST(GraceTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  for (double weight : {0.0, 0.5, 1.0}) {
+    Rng rng(15);
+    GraceConfig config;
+    config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+    config.grad_gcl.weight = weight;
+    Grace model(config, rng);
+    CheckNodeModel(model, data);
+  }
+}
+
+TEST(GcaTest, AdaptiveFlagForcedOn) {
+  const NodeDataset data = TinyNodeDataset();
+  Rng rng(16);
+  GraceConfig config;
+  config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+  config.adaptive = false;  // Gca must override this
+  Gca model(config, rng);
+  EXPECT_TRUE(model.config().adaptive);
+  CheckNodeModel(model, data);
+}
+
+TEST(BgrlTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  for (double weight : {0.0, 0.5}) {
+    Rng rng(17);
+    BgrlConfig config;
+    config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+    config.grad_gcl.weight = weight;
+    Bgrl model(config, rng);
+    CheckNodeModel(model, data);
+  }
+}
+
+TEST(BgrlTest, EmaTargetTracksOnline) {
+  const NodeDataset data = TinyNodeDataset();
+  Rng rng(18);
+  BgrlConfig config;
+  config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+  config.ema_decay = 0.5;
+  Bgrl model(config, rng);
+  // Perturb the online weights, run PostStep, and verify that a second
+  // EpochLoss with zero augmentation changes (target moved).
+  Rng loss_rng(19);
+  const double before = model.EpochLoss(data, loss_rng).scalar();
+  for (Variable& p : model.parameters()) {
+    Matrix v = p.value();
+    v *= 1.5;
+    p.set_value(v);
+  }
+  model.PostStep();
+  const double after = model.EpochLoss(data, loss_rng).scalar();
+  EXPECT_NE(before, after);
+}
+
+TEST(SgclTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  for (double weight : {0.0, 0.5}) {
+    Rng rng(20);
+    SgclConfig config;
+    config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+    config.grad_gcl.weight = weight;
+    Sgcl model(config, rng);
+    CheckNodeModel(model, data);
+  }
+}
+
+TEST(CostaTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  for (double weight : {0.0, 0.5}) {
+    Rng rng(21);
+    CostaConfig config;
+    config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+    config.grad_gcl.weight = weight;
+    Costa model(config, rng);
+    CheckNodeModel(model, data);
+  }
+}
+
+TEST(GraphMaeTest, BasicContract) {
+  const std::vector<Graph> data = TinyDataset();
+  for (double weight : {0.0, 0.5}) {
+    Rng rng(22);
+    GraphMaeConfig config;
+    config.encoder = TinyEncoder(data[0].feature_dim());
+    config.grad_gcl.loss = LossKind::kSce;
+    config.grad_gcl.weight = weight;
+    GraphMae model(config, rng);
+    CheckGraphModel(model, data);
+  }
+}
+
+// --- Classic baselines -------------------------------------------------------------
+
+TEST(WlKernelTest, IsomorphicGraphsGetEqualFeatures) {
+  // The same triangle under a node permutation.
+  Graph a;
+  a.num_nodes = 4;
+  a.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  a.features = Matrix::Ones(4, 3);
+  Graph b;
+  b.num_nodes = 4;
+  b.edges = {{3, 2}, {2, 1}, {3, 1}, {1, 0}};  // relabelled
+  b.features = Matrix::Ones(4, 3);
+  const Matrix f = WlFeatures({a, b}, {3, 64});
+  EXPECT_TRUE(AllClose(f.Row(0), f.Row(1), 1e-12));
+}
+
+TEST(WlKernelTest, DistinguishesNonIsomorphic) {
+  Graph path;
+  path.num_nodes = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  path.features = Matrix::Ones(4, 3);
+  Graph star;
+  star.num_nodes = 4;
+  star.edges = {{0, 1}, {0, 2}, {0, 3}};
+  star.features = Matrix::Ones(4, 3);
+  const Matrix f = WlFeatures({path, star}, {3, 64});
+  EXPECT_FALSE(AllClose(f.Row(0), f.Row(1), 1e-6));
+}
+
+TEST(WlKernelTest, RowsAreUnitNorm) {
+  const std::vector<Graph> data = TinyDataset();
+  const Matrix f = WlFeatures(data, {2, 128});
+  for (int i = 0; i < f.rows(); ++i) {
+    double norm = 0.0;
+    for (int j = 0; j < f.cols(); ++j) norm += f(i, j) * f(i, j);
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(DgiTest, BasicContract) {
+  const NodeDataset data = TinyNodeDataset();
+  Rng rng(23);
+  DgiConfig config;
+  config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+  Dgi model(config, rng);
+  CheckNodeModel(model, data);
+}
+
+TEST(DgiTest, LossDecreasesOverEpochs) {
+  const NodeDataset data = TinyNodeDataset();
+  Rng rng(24);
+  DgiConfig config;
+  config.encoder = TinyEncoder(data.graph.feature_dim(), EncoderKind::kGcn);
+  Dgi model(config, rng);
+  TrainOptions options;
+  options.epochs = 25;
+  options.lr = 0.02;
+  const std::vector<EpochStats> history = TrainNodeSsl(model, data, options);
+  double late = 0.0, early = 0.0;
+  for (int e = 0; e < 5; ++e) early += history[e].loss / 5.0;
+  for (int e = 20; e < 25; ++e) late += history[e].loss / 5.0;
+  EXPECT_LT(late, early);
+}
+
+TEST(Node2VecTest, WalkStaysOnGraph) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 1;
+  const Graph g = GenerateTuDataset(profile, 31)[0];
+  const CsrAdjacency csr = BuildCsr(g);
+  Node2VecConfig config;
+  config.walk_length = 12;
+  Rng rng(25);
+  const std::vector<int> walk =
+      SampleNode2VecWalk(g, csr, 0, config, rng);
+  ASSERT_GE(walk.size(), 2u);
+  EXPECT_EQ(walk[0], 0);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(HasEdge(g, walk[i - 1], walk[i]))
+        << "walk used a non-edge " << walk[i - 1] << "-" << walk[i];
+  }
+}
+
+TEST(Node2VecTest, EmbeddingsShapeAndDeterminism) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 1;
+  const Graph g = GenerateTuDataset(profile, 32)[0];
+  Node2VecConfig config;
+  config.dim = 12;
+  config.epochs = 1;
+  const Matrix a = Node2VecEmbeddings(g, config);
+  const Matrix b = Node2VecEmbeddings(g, config);
+  EXPECT_EQ(a.rows(), g.num_nodes);
+  EXPECT_EQ(a.cols(), 12);
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_TRUE(a.AllFinite());
+}
+
+TEST(Node2VecTest, NeighborsEmbedCloserThanDistantNodes) {
+  // A long path graph: adjacent nodes must embed closer (on average)
+  // than nodes 10 hops apart.
+  Graph path;
+  path.num_nodes = 24;
+  for (int i = 0; i + 1 < 24; ++i) path.edges.emplace_back(i, i + 1);
+  path.features = Matrix::Ones(24, 2);
+  Node2VecConfig config;
+  config.dim = 16;
+  config.epochs = 4;
+  config.walks_per_node = 6;
+  const Matrix emb = RowNormalize(Node2VecEmbeddings(path, config));
+  double near = 0.0, far = 0.0;
+  int n_near = 0, n_far = 0;
+  for (int i = 0; i + 1 < 24; ++i) {
+    double dot = 0.0;
+    for (int k = 0; k < 16; ++k) dot += emb(i, k) * emb(i + 1, k);
+    near += dot;
+    ++n_near;
+  }
+  for (int i = 0; i + 10 < 24; ++i) {
+    double dot = 0.0;
+    for (int k = 0; k < 16; ++k) dot += emb(i, k) * emb(i + 10, k);
+    far += dot;
+    ++n_far;
+  }
+  EXPECT_GT(near / n_near, far / n_far);
+}
+
+TEST(Node2VecTest, GraphEmbeddingsShape) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 6;
+  const std::vector<Graph> data = GenerateTuDataset(profile, 33);
+  Node2VecConfig config;
+  config.dim = 8;
+  config.epochs = 1;
+  config.walks_per_node = 1;
+  const Matrix emb = Node2VecGraphEmbeddings(data, config);
+  EXPECT_EQ(emb.rows(), 6);
+  EXPECT_EQ(emb.cols(), 8);
+}
+
+TEST(SupervisedGcnTest, LearnsSeparableNodeDataset) {
+  NodeProfile profile = NodeProfileByName("Cora");
+  profile.num_nodes = 100;
+  profile.feature_dim = 16;
+  profile.feature_noise = 0.5;  // easy
+  profile.train_frac = 0.3;
+  const NodeDataset data = GenerateNodeDataset(profile, 35);
+  SupervisedGcnConfig config;
+  config.epochs = 40;
+  const double acc = TrainSupervisedGcn(data, config);
+  EXPECT_GT(acc, 2.0 / profile.num_classes);  // far above chance
+}
+
+TEST(Graph2VecTest, ShapeAndDeterminism) {
+  const std::vector<Graph> data = TinyDataset();
+  Graph2VecConfig config;
+  config.embedding_dim = 16;
+  const Matrix a = Graph2VecEmbeddings(data, config);
+  const Matrix b = Graph2VecEmbeddings(data, config);
+  EXPECT_EQ(a.rows(), static_cast<int>(data.size()));
+  EXPECT_EQ(a.cols(), 16);
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+}  // namespace
+}  // namespace gradgcl

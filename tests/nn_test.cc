@@ -1,0 +1,341 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "graph/batch.h"
+#include "nn/encoders.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+Graph SmallGraph() {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {1, 2}};
+  g.features = Matrix{{1, 0}, {0, 1}, {1, 1}};
+  g.label = 0;
+  return g;
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  Variable x(Matrix::Ones(4, 3));
+  Variable y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_EQ(lin.parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  Variable x(Matrix::Ones(4, 3));
+  Backward(ag::Sum(lin.Forward(x)));
+  for (const Variable& p : lin.parameters()) {
+    EXPECT_GT(p.grad().FrobeniusNorm(), 0.0);
+  }
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(3);
+  Linear lin(3, 2, rng);
+  std::vector<Variable> inputs = lin.parameters();
+  const Matrix x = Matrix::RandomNormal(4, 3, rng);
+  const ag::GradCheckResult result = ag::CheckGradients(
+      [&lin, &x](const std::vector<Variable>&) {
+        return ag::Sum(ag::Square(lin.Forward(Variable(x))));
+      },
+      inputs);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+TEST(MlpTest, HiddenReluShapes) {
+  Rng rng(4);
+  Mlp mlp({3, 8, 8, 2}, rng);
+  Variable y = mlp.Forward(Variable(Matrix::Ones(5, 3)));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_EQ(mlp.parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(MlpDeathTest, TooFewDimsAborts) {
+  Rng rng(5);
+  EXPECT_DEATH(Mlp({4}, rng), "at least");
+}
+
+TEST(GcnConvTest, PropagatesNeighborhood) {
+  Rng rng(6);
+  const Graph g = SmallGraph();
+  GcnConv conv(2, 2, rng);
+  const SparseMatrix a_hat = NormalizedAdjacency(g);
+  Variable h = conv.Forward(a_hat, Variable(g.features), false);
+  // Manual: Â (X W + b).
+  Variable lin_out = ag::AddRowBroadcast(
+      ag::MatMul(Variable(g.features), conv.parameters()[0]),
+      conv.parameters()[1]);
+  const Matrix expected = a_hat.Multiply(lin_out.value());
+  EXPECT_TRUE(AllClose(h.value(), expected, 1e-10));
+}
+
+TEST(GinConvTest, OutputFinite) {
+  Rng rng(7);
+  const Graph g = SmallGraph();
+  GinConv conv(2, 4, rng);
+  Variable h = conv.Forward(AdjacencyWithSelfLoops(g), Variable(g.features));
+  EXPECT_EQ(h.rows(), 3);
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_TRUE(h.value().AllFinite());
+}
+
+TEST(EncoderTest, NodeAndGraphShapes) {
+  Rng rng(8);
+  EncoderConfig config;
+  config.in_dim = 2;
+  config.hidden_dim = 8;
+  config.out_dim = 4;
+  config.num_layers = 2;
+  GraphEncoder encoder(config, rng);
+
+  const std::vector<Graph> graphs = {SmallGraph(), SmallGraph()};
+  const GraphBatch batch = MakeBatch(graphs);
+  GraphEncoder::Output out = encoder.Forward(batch);
+  EXPECT_EQ(out.nodes.rows(), 6);
+  EXPECT_EQ(out.nodes.cols(), 4);
+  EXPECT_EQ(out.graphs.rows(), 2);
+  EXPECT_EQ(out.graphs.cols(), 4);
+}
+
+TEST(EncoderTest, GcnAndGinBothWork) {
+  for (EncoderKind kind : {EncoderKind::kGcn, EncoderKind::kGin}) {
+    Rng rng(9);
+    EncoderConfig config;
+    config.kind = kind;
+    config.in_dim = 2;
+    GraphEncoder encoder(config, rng);
+    const GraphBatch batch = MakeBatch({SmallGraph()});
+    EXPECT_TRUE(encoder.ForwardGraphs(batch).value().AllFinite());
+  }
+}
+
+TEST(EncoderTest, IdenticalGraphsGetIdenticalEmbeddings) {
+  Rng rng(10);
+  EncoderConfig config;
+  config.in_dim = 2;
+  GraphEncoder encoder(config, rng);
+  const GraphBatch batch = MakeBatch({SmallGraph(), SmallGraph()});
+  const Matrix graphs = encoder.ForwardGraphs(batch).value();
+  EXPECT_TRUE(AllClose(graphs.Row(0), graphs.Row(1), 1e-10));
+}
+
+TEST(EncoderTest, ReadoutMeanVsSum) {
+  Variable nodes(Matrix{{1, 1}, {3, 3}, {5, 5}});
+  const std::vector<int> segments = {0, 0, 1};
+  const Matrix mean = Readout(nodes, segments, 2, ReadoutKind::kMean).value();
+  const Matrix sum = Readout(nodes, segments, 2, ReadoutKind::kSum).value();
+  EXPECT_DOUBLE_EQ(mean(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sum(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(mean(1, 0), 5.0);
+}
+
+TEST(EncoderTest, OperatorOverrideChangesOutput) {
+  Rng rng(11);
+  EncoderConfig config;
+  config.in_dim = 2;
+  GraphEncoder encoder(config, rng);
+  const Graph g = SmallGraph();
+  const GraphBatch batch = MakeBatch({g});
+  const Matrix via_adj = encoder.ForwardNodes(batch).value();
+  // Identity operator: no message passing.
+  std::vector<Triplet> eye;
+  for (int i = 0; i < 3; ++i) eye.push_back({i, i, 1.0});
+  const Matrix via_eye =
+      encoder
+          .ForwardNodesWithOperator(SparseMatrix(3, 3, eye),
+                                    Variable(g.features))
+          .value();
+  EXPECT_FALSE(AllClose(via_adj, via_eye, 1e-6));
+}
+
+TEST(GatConvTest, OutputShapeAndFinite) {
+  Rng rng(30);
+  const Graph g = SmallGraph();
+  GatConv conv(2, 4, rng);
+  Variable h = conv.Forward(DenseAttentionMask(g), Variable(g.features));
+  EXPECT_EQ(h.rows(), 3);
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_TRUE(h.value().AllFinite());
+}
+
+TEST(GatConvTest, AttentionMaskStructure) {
+  const Graph g = SmallGraph();  // path 0-1-2
+  const Matrix mask = DenseAttentionMask(g);
+  EXPECT_DOUBLE_EQ(mask(0, 0), 1.0);  // self loop
+  EXPECT_DOUBLE_EQ(mask(0, 1), 1.0);  // edge
+  EXPECT_DOUBLE_EQ(mask(0, 2), 0.0);  // non-edge
+  EXPECT_DOUBLE_EQ(mask(2, 1), 1.0);  // symmetric
+}
+
+TEST(GatConvTest, GradientsReachAttentionParameters) {
+  Rng rng(31);
+  const Graph g = SmallGraph();
+  GatConv conv(2, 4, rng);
+  conv.ZeroGrad();
+  Backward(ag::Sum(
+      ag::Square(conv.Forward(DenseAttentionMask(g), Variable(g.features)))));
+  // All four parameters (W, b, a_src, a_dst) must receive gradients.
+  int touched = 0;
+  for (const Variable& p : conv.parameters()) {
+    if (p.grad().FrobeniusNorm() > 0.0) ++touched;
+  }
+  EXPECT_EQ(touched, 4);
+}
+
+TEST(GatConvTest, IsolatedNodeAttendsOnlyToItself) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}};  // node 2 isolated
+  g.features = Matrix{{1, 0}, {0, 1}, {1, 1}};
+  Rng rng(32);
+  GatConv conv(2, 2, rng);
+  // Node 2's output must equal its own transformed features (attention
+  // weight 1 on the self loop).
+  Variable z = conv.Forward(DenseAttentionMask(g), Variable(g.features),
+                            /*apply_relu=*/false);
+  // `twin` shares conv's seed, hence identical parameters; compare the
+  // isolated node against a 1-node graph with the same features.
+  Rng rng2(32);
+  GatConv twin(2, 2, rng2);
+  Graph solo;
+  solo.num_nodes = 1;
+  solo.features = Matrix{{1, 1}};
+  Variable z_solo = twin.Forward(DenseAttentionMask(solo),
+                                 Variable(solo.features), false);
+  EXPECT_TRUE(AllClose(z.value().Row(2), z_solo.value().Row(0), 1e-10));
+}
+
+TEST(GatEncoderTest, NodeEmbeddingsShape) {
+  Rng rng(33);
+  const Graph g = SmallGraph();
+  GatNodeEncoder encoder({2, 8, 4}, rng);
+  Variable h = encoder.Forward(g);
+  EXPECT_EQ(h.rows(), 3);
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_TRUE(h.value().AllFinite());
+}
+
+TEST(GatEncoderTest, TrainableEndToEnd) {
+  // A 2-layer GAT must be able to fit a trivial node-regression target.
+  Rng rng(34);
+  const Graph g = SmallGraph();
+  GatNodeEncoder encoder({2, 8, 1}, rng);
+  const Matrix target{{1}, {0}, {1}};
+  std::vector<Variable> params = encoder.parameters();
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    for (Variable& p : params) p.ZeroGrad();
+    Variable loss =
+        ag::Mean(ag::Square(ag::Sub(encoder.Forward(g), Variable(target))));
+    if (step == 0) first_loss = loss.scalar();
+    last_loss = loss.scalar();
+    Backward(loss);
+    for (Variable& p : params) {
+      Matrix update = p.grad();
+      update *= 0.1;
+      Matrix value = p.value();
+      value -= update;
+      p.set_value(value);
+    }
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+// --- Module state management ----------------------------------------------------
+
+TEST(ModuleTest, StateRoundTrip) {
+  Rng rng(12);
+  Mlp mlp({3, 4, 2}, rng);
+  const std::vector<Matrix> saved = mlp.StateCopy();
+  // Clobber, then restore.
+  for (Variable& p : mlp.parameters()) {
+    p.set_value(Matrix(p.rows(), p.cols(), 9.0));
+  }
+  mlp.LoadState(saved);
+  const std::vector<Matrix> restored = mlp.StateCopy();
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_TRUE(AllClose(saved[i], restored[i]));
+  }
+}
+
+TEST(ModuleTest, NumScalarParameters) {
+  Rng rng(13);
+  Linear lin(3, 2, rng);
+  EXPECT_EQ(lin.NumScalarParameters(), 3 * 2 + 2);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(14);
+  Linear lin(2, 2, rng);
+  Backward(ag::Sum(lin.Forward(Variable(Matrix::Ones(3, 2)))));
+  lin.ZeroGrad();
+  for (const Variable& p : lin.parameters()) {
+    EXPECT_DOUBLE_EQ(p.grad().FrobeniusNorm(), 0.0);
+  }
+}
+
+TEST(ModuleDeathTest, LoadStateCountMismatchAborts) {
+  Rng rng(15);
+  Linear lin(2, 2, rng);
+  EXPECT_DEATH(lin.LoadState({Matrix(2, 2, 0.0)}), "mismatch");
+}
+
+TEST(PerturbStateTest, ZeroMagnitudeIsIdentity) {
+  Rng rng(16);
+  Mlp mlp({3, 4, 2}, rng);
+  Rng noise(17);
+  const std::vector<Matrix> perturbed =
+      PerturbState(mlp.StateCopy(), 0.0, noise);
+  const std::vector<Matrix> original = mlp.StateCopy();
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(AllClose(original[i], perturbed[i]));
+  }
+}
+
+TEST(PerturbStateTest, MagnitudeScalesNoise) {
+  Rng rng(18);
+  Mlp mlp({8, 16, 8}, rng);
+  const std::vector<Matrix> state = mlp.StateCopy();
+  Rng n1(19), n2(19);
+  const std::vector<Matrix> small = PerturbState(state, 0.1, n1);
+  const std::vector<Matrix> large = PerturbState(state, 1.0, n2);
+  double small_delta = 0.0, large_delta = 0.0;
+  for (size_t i = 0; i < state.size(); ++i) {
+    Matrix ds = small[i];
+    ds -= state[i];
+    Matrix dl = large[i];
+    dl -= state[i];
+    small_delta += ds.FrobeniusNorm();
+    large_delta += dl.FrobeniusNorm();
+  }
+  EXPECT_NEAR(large_delta / small_delta, 10.0, 0.5);
+}
+
+TEST(EmaUpdateTest, ConvergesTowardOnline) {
+  std::vector<Matrix> target = {Matrix(2, 2, 0.0)};
+  const std::vector<Matrix> online = {Matrix(2, 2, 1.0)};
+  EmaUpdate(target, online, 0.9);
+  EXPECT_NEAR(target[0](0, 0), 0.1, 1e-12);
+  for (int i = 0; i < 200; ++i) EmaUpdate(target, online, 0.9);
+  EXPECT_NEAR(target[0](0, 0), 1.0, 1e-6);
+}
+
+TEST(EmaUpdateTest, DecayOneFreezesTarget) {
+  std::vector<Matrix> target = {Matrix(2, 2, 3.0)};
+  EmaUpdate(target, {Matrix(2, 2, -5.0)}, 1.0);
+  EXPECT_DOUBLE_EQ(target[0](0, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,86 @@
+#include "train/scheduler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/tu_synthetic.h"
+#include "models/graphcl.h"
+#include "train/trainer.h"
+
+namespace gradgcl {
+namespace {
+
+TEST(SchedulerTest, ConstantReturnsBaseLr) {
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_DOUBLE_EQ(ScheduledLr(LrSchedule::kConstant, 0.05, e, 10), 0.05);
+  }
+}
+
+TEST(SchedulerTest, StepHalvesEveryThird) {
+  EXPECT_DOUBLE_EQ(ScheduledLr(LrSchedule::kStep, 0.1, 0, 9), 0.1);
+  EXPECT_DOUBLE_EQ(ScheduledLr(LrSchedule::kStep, 0.1, 3, 9), 0.05);
+  EXPECT_DOUBLE_EQ(ScheduledLr(LrSchedule::kStep, 0.1, 6, 9), 0.025);
+}
+
+TEST(SchedulerTest, CosineBoundaries) {
+  EXPECT_DOUBLE_EQ(ScheduledLr(LrSchedule::kCosine, 0.1, 0, 10), 0.1);
+  EXPECT_NEAR(ScheduledLr(LrSchedule::kCosine, 0.1, 9, 10), 0.0, 1e-12);
+  // Midpoint is half the base rate.
+  EXPECT_NEAR(ScheduledLr(LrSchedule::kCosine, 0.1, 5, 11), 0.05, 1e-12);
+}
+
+TEST(SchedulerTest, CosineIsMonotoneDecreasing) {
+  double prev = 1e9;
+  for (int e = 0; e < 20; ++e) {
+    const double lr = ScheduledLr(LrSchedule::kCosine, 0.1, e, 20);
+    EXPECT_LE(lr, prev + 1e-15);
+    prev = lr;
+  }
+}
+
+TEST(SchedulerTest, WarmupRampsThenDecays) {
+  const int total = 30;  // warmup = 3 epochs
+  EXPECT_LT(ScheduledLr(LrSchedule::kWarmupCosine, 0.1, 0, total),
+            ScheduledLr(LrSchedule::kWarmupCosine, 0.1, 2, total));
+  EXPECT_NEAR(ScheduledLr(LrSchedule::kWarmupCosine, 0.1, 2, total), 0.1,
+              1e-12);
+  EXPECT_GT(ScheduledLr(LrSchedule::kWarmupCosine, 0.1, 5, total),
+            ScheduledLr(LrSchedule::kWarmupCosine, 0.1, 25, total));
+}
+
+TEST(SchedulerDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(ScheduledLr(LrSchedule::kCosine, 0.1, 10, 10),
+               "GRADGCL_CHECK");
+  EXPECT_DEATH(ScheduledLr(LrSchedule::kCosine, -0.1, 0, 10),
+               "GRADGCL_CHECK");
+}
+
+TEST(SchedulerTest, TrainerAppliesSchedule) {
+  // Training must still run (and stay finite) under each schedule.
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 16;
+  const std::vector<Graph> data = GenerateTuDataset(profile, 3);
+  for (LrSchedule schedule :
+       {LrSchedule::kConstant, LrSchedule::kStep, LrSchedule::kCosine,
+        LrSchedule::kWarmupCosine}) {
+    Rng rng(7);
+    GraphClConfig config;
+    config.encoder.in_dim = profile.feature_dim;
+    config.encoder.hidden_dim = 8;
+    config.encoder.out_dim = 8;
+    GraphCl model(config, rng);
+    TrainOptions options;
+    options.epochs = 5;
+    options.batch_size = 8;
+    options.schedule = schedule;
+    const std::vector<EpochStats> history =
+        TrainGraphSsl(model, data, options);
+    for (const EpochStats& stats : history) {
+      EXPECT_TRUE(std::isfinite(stats.loss));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gradgcl

@@ -1,0 +1,108 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace gradgcl {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, StateRoundTrip) {
+  Rng rng(1);
+  std::vector<Matrix> state = {
+      Matrix::RandomNormal(3, 4, rng),
+      Matrix::RandomNormal(1, 7, rng),
+      Matrix(0, 5, 0.0),  // empty tensor edge case
+  };
+  const std::string path = TempPath("state_roundtrip.ggcl");
+  ASSERT_TRUE(SaveState(path, state));
+
+  std::vector<Matrix> loaded;
+  ASSERT_TRUE(LoadStateFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    EXPECT_EQ(loaded[i].rows(), state[i].rows());
+    EXPECT_EQ(loaded[i].cols(), state[i].cols());
+    EXPECT_TRUE(AllClose(loaded[i], state[i], 0.0));  // bit exact
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModuleRoundTrip) {
+  Rng rng(2);
+  Mlp original({4, 8, 3}, rng);
+  const std::string path = TempPath("mlp.ggcl");
+  ASSERT_TRUE(SaveModule(path, original));
+
+  Rng rng2(99);  // different init
+  Mlp restored({4, 8, 3}, rng2);
+  ASSERT_TRUE(LoadModule(path, restored));
+
+  // Same weights -> same outputs.
+  Rng xrng(3);
+  Variable x(Matrix::RandomNormal(5, 4, xrng));
+  EXPECT_TRUE(AllClose(original.Forward(x).value(),
+                       restored.Forward(x).value(), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile("/nonexistent/dir/file.ggcl", &state));
+  EXPECT_TRUE(state.empty());
+}
+
+TEST(SerializeTest, CorruptMagicFails) {
+  const std::string path = TempPath("corrupt.ggcl");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileFails) {
+  Rng rng(4);
+  const std::vector<Matrix> state = {Matrix::RandomNormal(8, 8, rng)};
+  const std::string path = TempPath("truncated.ggcl");
+  ASSERT_TRUE(SaveState(path, state));
+  // Truncate to half size.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  std::vector<Matrix> loaded;
+  EXPECT_FALSE(LoadStateFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveToUnwritablePathFails) {
+  Rng rng(5);
+  EXPECT_FALSE(
+      SaveState("/nonexistent/dir/file.ggcl", {Matrix::Ones(2, 2)}));
+}
+
+TEST(SerializeTest, LoadIntoMismatchedModuleAborts) {
+  Rng rng(6);
+  Linear small(2, 2, rng);
+  const std::string path = TempPath("mismatch.ggcl");
+  ASSERT_TRUE(SaveModule(path, small));
+  Linear large(4, 4, rng);
+  EXPECT_DEATH(LoadModule(path, large), "GRADGCL_CHECK");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gradgcl
