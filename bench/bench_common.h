@@ -1,7 +1,9 @@
 // Shared helpers for the table/figure benches: backbone factories over
-// the GradGCL weight, train-and-probe pipelines, and row formatting.
-// Every bench is deterministic given its hard-coded seeds and scaled to
-// finish in seconds on one core (see DESIGN.md §2 on scaling).
+// the GradGCL weight, train-and-probe pipelines, seed/grid-cell
+// parallelism, and row formatting. Every bench is deterministic given
+// its hard-coded seeds — grid cells and pre-train runs fan out across
+// the thread pool (GRADGCL_NUM_THREADS) without changing a digit of
+// output (see DESIGN.md §5 "Threading model" and §2 on scaling).
 
 #ifndef GRADGCL_BENCH_BENCH_COMMON_H_
 #define GRADGCL_BENCH_BENCH_COMMON_H_
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "datasets/molecule_universe.h"
 #include "datasets/node_synthetic.h"
 #include "datasets/tu_synthetic.h"
@@ -27,6 +30,19 @@
 #include "models/simgrace.h"
 
 namespace gradgcl::bench {
+
+// Evaluates cells[i] = fn(i) for i in [0, n) on the thread pool and
+// returns them in order. Every table/figure cell owns explicit seeds,
+// so parallel cells compute exactly what the serial loop would; callers
+// print the collected row afterwards to keep output ordering intact.
+template <typename T, typename Fn>
+std::vector<T> ParallelGrid(int n, Fn fn) {
+  std::vector<T> cells(n);
+  ParallelFor(0, n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) cells[i] = fn(static_cast<int>(i));
+  });
+  return cells;
+}
 
 // Graph-level backbones of Table IV.
 enum class Backbone { kInfoGraph, kGraphCl, kJoao, kSimGrace, kMvgrl };
@@ -130,23 +146,25 @@ inline ScoreSummary TrainAndProbeGraph(Backbone backbone,
                                        int num_classes, double weight,
                                        int epochs = 10, int runs = 2,
                                        int dim = 32) {
-  std::vector<double> run_scores;
-  for (int run = 0; run < runs; ++run) {
-    std::unique_ptr<GraphSslModel> model = MakeGraphModel(
-        backbone, dataset[0].feature_dim(), weight, 100 + run, dim);
-    TrainOptions options;
-    options.epochs = epochs;
-    options.batch_size = 64;
-    options.lr = 0.01;
-    options.seed = 10 + run;
-    TrainGraphSsl(*model, dataset, options);
-    ProbeOptions probe;
-    probe.kind = ProbeKind::kLinearSvm;
-    const ScoreSummary cv = CrossValidateAccuracy(
-        model->EmbedGraphs(dataset), GraphLabels(dataset), num_classes,
-        /*folds=*/5, probe, /*seed=*/50 + run);
-    run_scores.push_back(cv.mean);
-  }
+  // Runs are seed-parallel: each owns its model/train/probe seeds, so
+  // the pooled summary is bit-identical to the serial protocol.
+  const std::vector<double> run_scores =
+      ParallelGrid<double>(runs, [&](int run) {
+        std::unique_ptr<GraphSslModel> model = MakeGraphModel(
+            backbone, dataset[0].feature_dim(), weight, 100 + run, dim);
+        TrainOptions options;
+        options.epochs = epochs;
+        options.batch_size = 64;
+        options.lr = 0.01;
+        options.seed = 10 + run;
+        TrainGraphSsl(*model, dataset, options);
+        ProbeOptions probe;
+        probe.kind = ProbeKind::kLinearSvm;
+        const ScoreSummary cv = CrossValidateAccuracy(
+            model->EmbedGraphs(dataset), GraphLabels(dataset), num_classes,
+            /*folds=*/5, probe, /*seed=*/50 + run);
+        return cv.mean;
+      });
   return Summarize(run_scores);
 }
 

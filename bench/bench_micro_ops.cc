@@ -1,14 +1,30 @@
 // Op-level microbenchmarks (not a paper table; supports the Table VIII
 // overhead analysis): raw kernels, the InfoNCE loss, and the gradient-
-// feature op, forward and forward+backward.
+// feature op, forward and forward+backward. After the google-benchmark
+// section, a kernel-scaling grid times the parallel kernels (dense
+// matmul, the batched-graph SpMM aggregation, row softmax) at 1/2/4
+// pool threads, checks the outputs are bit-identical across thread
+// counts, and emits BENCH_kernels.json so the perf trajectory is
+// machine-readable across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/gradient_features.h"
+#include "datasets/tu_synthetic.h"
+#include "graph/batch.h"
 #include "losses/contrastive.h"
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
+#include "tensor/sparse.h"
 
 namespace {
 
@@ -102,6 +118,114 @@ void BM_GradGclCombinedBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_GradGclCombinedBackward)->Arg(64)->Arg(256);
 
+// --- Kernel-scaling grid ----------------------------------------------------
+
+// One timed kernel of the scaling grid, evaluated at several pool
+// sizes. Apply() must be a pure function of the prebuilt inputs.
+struct ScalingCase {
+  std::string name;
+  std::function<Matrix()> apply;
+};
+
+// Best-of-`reps` wall time of one invocation, after one warm-up.
+double TimeKernel(const std::function<Matrix()>& apply, int reps) {
+  benchmark::DoNotOptimize(apply());
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    Matrix out = apply();
+    const double elapsed = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(out);
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+// Times every case at each thread count, verifies bit-identity against
+// the single-thread output, prints a table, and writes `path` as JSON.
+void WriteKernelScalingReport(const char* path) {
+  const std::vector<int> thread_counts = {1, 2, 4};
+  constexpr int kReps = 5;
+
+  Rng rng(11);
+  const Matrix a64 = Matrix::RandomNormal(64, 64, rng);
+  const Matrix b64 = Matrix::RandomNormal(64, 64, rng);
+  const Matrix a256 = Matrix::RandomNormal(256, 256, rng);
+  const Matrix b256 = Matrix::RandomNormal(256, 256, rng);
+  const Matrix a512 = Matrix::RandomNormal(512, 512, rng);
+  const Matrix b512 = Matrix::RandomNormal(512, 512, rng);
+  const Matrix soft = Matrix::RandomNormal(1024, 256, rng);
+
+  // Table-IV-shape aggregation operator: a disjoint-union batch of one
+  // full TU profile, SpMM against stacked node features.
+  const std::vector<Graph> graphs =
+      GenerateTuDataset(TuProfileByName("IMDB-B"), /*seed=*/7);
+  const GraphBatch batch = MakeBatch(graphs);
+  const Matrix features = Matrix::RandomNormal(batch.total_nodes, 32, rng);
+
+  const std::vector<ScalingCase> cases = {
+      {"matmul_64", [&] { return MatMul(a64, b64); }},
+      {"matmul_256", [&] { return MatMul(a256, b256); }},
+      {"matmul_512", [&] { return MatMul(a512, b512); }},
+      {"spmm_imdb_batch", [&] { return batch.norm_adj.Multiply(features); }},
+      {"row_softmax_1024x256", [&] { return RowSoftmax(soft); }},
+  };
+
+  const int restore_threads = gradgcl::NumThreads();
+  std::FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"kernels\",\n  \"threads\": [1, 2, 4],"
+                     "\n  \"kernels\": [\n");
+
+  std::printf("\nKernel scaling (best of %d reps, seconds; speedup vs 1 "
+              "thread)\n", kReps);
+  std::printf("%-22s %10s %10s %10s %8s %8s %13s\n", "kernel", "t=1", "t=2",
+              "t=4", "x2", "x4", "bit-identical");
+  for (size_t c = 0; c < cases.size(); ++c) {
+    std::vector<double> seconds;
+    Matrix reference;
+    bool bit_identical = true;
+    for (int threads : thread_counts) {
+      gradgcl::SetNumThreads(threads);
+      seconds.push_back(TimeKernel(cases[c].apply, kReps));
+      Matrix out = cases[c].apply();
+      if (threads == 1) {
+        reference = out;
+      } else if (out.size() != reference.size() ||
+                 std::memcmp(out.data(), reference.data(),
+                             sizeof(double) * out.size()) != 0) {
+        bit_identical = false;
+      }
+    }
+    const double x2 = seconds[0] / seconds[1];
+    const double x4 = seconds[0] / seconds[2];
+    std::printf("%-22s %10.6f %10.6f %10.6f %7.2fx %7.2fx %13s\n",
+                cases[c].name.c_str(), seconds[0], seconds[1], seconds[2], x2,
+                x4, bit_identical ? "yes" : "NO");
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"seconds\": [%.9f, %.9f, %.9f], "
+                 "\"speedup_vs_1t\": [1.0, %.4f, %.4f], "
+                 "\"bit_identical\": %s}%s\n",
+                 cases[c].name.c_str(), seconds[0], seconds[1], seconds[2],
+                 x2, x4, bit_identical ? "true" : "false",
+                 c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+  gradgcl::SetNumThreads(restore_threads);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  WriteKernelScalingReport("BENCH_kernels.json");
+  return 0;
+}

@@ -43,41 +43,45 @@ int main() {
     datasets.push_back(GenerateTuDataset(p, /*seed=*/7));
   }
 
-  // Classic baselines.
+  const int num_datasets = static_cast<int>(profiles.size());
+
+  // Classic baselines. Dataset cells run in parallel (each owns its
+  // seeds); rows are printed after the grid resolves, in order.
   {
-    std::printf("%-18s", "WL");
-    for (size_t d = 0; d < profiles.size(); ++d) {
-      ProbeOptions probe;
-      const ScoreSummary s = CrossValidateAccuracy(
-          WlFeatures(datasets[d], {3, 256}), GraphLabels(datasets[d]),
-          profiles[d].num_classes, 5, probe, 31);
-      std::printf(" %14s", Cell(s).c_str());
-    }
-    std::printf("\n");
-    std::printf("%-18s", "graph2vec");
-    for (size_t d = 0; d < profiles.size(); ++d) {
-      Graph2VecConfig g2v;
-      ProbeOptions probe;
-      const ScoreSummary s = CrossValidateAccuracy(
-          Graph2VecEmbeddings(datasets[d], g2v), GraphLabels(datasets[d]),
-          profiles[d].num_classes, 5, probe, 32);
-      std::printf(" %14s", Cell(s).c_str());
-    }
-    std::printf("\n");
-    std::printf("%-18s", "node2vec");
-    for (size_t d = 0; d < profiles.size(); ++d) {
-      Node2VecConfig n2v;
-      n2v.dim = 24;
-      n2v.walks_per_node = 2;
-      ProbeOptions probe;
-      const ScoreSummary s = CrossValidateAccuracy(
-          Node2VecGraphEmbeddings(datasets[d], n2v),
-          GraphLabels(datasets[d]), profiles[d].num_classes, 5, probe, 33);
-      std::printf(" %14s", Cell(s).c_str());
+    auto print_row = [&](const char* label,
+                         const std::vector<ScoreSummary>& row) {
+      std::printf("%-18s", label);
+      for (const ScoreSummary& s : row) std::printf(" %14s", Cell(s).c_str());
+      std::printf("\n");
       std::fflush(stdout);
-    }
-    std::printf("\n");
-    PrintRule(18 + 15 * static_cast<int>(profiles.size()));
+    };
+    print_row("WL", ParallelGrid<ScoreSummary>(num_datasets, [&](int d) {
+                ProbeOptions probe;
+                return CrossValidateAccuracy(
+                    WlFeatures(datasets[d], {3, 256}), GraphLabels(datasets[d]),
+                    profiles[d].num_classes, 5, probe, 31);
+              }));
+    print_row("graph2vec",
+              ParallelGrid<ScoreSummary>(num_datasets, [&](int d) {
+                Graph2VecConfig g2v;
+                ProbeOptions probe;
+                return CrossValidateAccuracy(
+                    Graph2VecEmbeddings(datasets[d], g2v),
+                    GraphLabels(datasets[d]), profiles[d].num_classes, 5,
+                    probe, 32);
+              }));
+    print_row("node2vec",
+              ParallelGrid<ScoreSummary>(num_datasets, [&](int d) {
+                Node2VecConfig n2v;
+                n2v.dim = 24;
+                n2v.walks_per_node = 2;
+                ProbeOptions probe;
+                return CrossValidateAccuracy(
+                    Node2VecGraphEmbeddings(datasets[d], n2v),
+                    GraphLabels(datasets[d]), profiles[d].num_classes, 5,
+                    probe, 33);
+              }));
+    PrintRule(18 + 15 * num_datasets);
   }
 
   // GCL grid. Track wins of (f+g) over raw for the summary line.
@@ -92,31 +96,40 @@ int main() {
       const bool is_fg = weight != 0.0 && weight != 1.0;
       const std::string method =
           BackboneName(backbone) + VariantSuffix(weight);
+      // Dataset cells of the row run in parallel on the pool; every
+      // cell owns explicit seeds, so the grid is order-independent. A
+      // count of 0 marks a skipped cell ("-").
+      const std::vector<ScoreSummary> row =
+          ParallelGrid<ScoreSummary>(num_datasets, [&](int d) {
+            // MVGRL skips the two biggest-node profiles (dense PPR
+            // solves).
+            const bool skip = backbone == Backbone::kMvgrl &&
+                              (profiles[d].name == "DD" ||
+                               profiles[d].name == "COLLAB");
+            if (skip) return ScoreSummary{};
+            ScoreSummary s;
+            if (is_fg) {
+              for (double a : fg_grid) {
+                const ScoreSummary candidate = TrainAndProbeGraph(
+                    backbone, datasets[d], profiles[d].num_classes, a,
+                    /*epochs=*/10, /*runs=*/3, /*dim=*/24);
+                if (candidate.mean > s.mean || s.count == 0) s = candidate;
+              }
+            } else {
+              s = TrainAndProbeGraph(backbone, datasets[d],
+                                     profiles[d].num_classes, weight,
+                                     /*epochs=*/10, /*runs=*/3, /*dim=*/24);
+            }
+            return s;
+          });
       std::printf("%-18s", method.c_str());
-      for (size_t d = 0; d < profiles.size(); ++d) {
-        // MVGRL skips the two biggest-node profiles (dense PPR solves).
-        const bool skip = backbone == Backbone::kMvgrl &&
-                          (profiles[d].name == "DD" ||
-                           profiles[d].name == "COLLAB");
-        if (skip) {
+      for (int d = 0; d < num_datasets; ++d) {
+        const ScoreSummary& s = row[d];
+        if (s.count == 0) {
           std::printf(" %14s", "-");
           continue;
         }
-        ScoreSummary s;
-        if (is_fg) {
-          for (double a : fg_grid) {
-            const ScoreSummary candidate = TrainAndProbeGraph(
-                backbone, datasets[d], profiles[d].num_classes, a,
-                /*epochs=*/10, /*runs=*/3, /*dim=*/24);
-            if (candidate.mean > s.mean || s.count == 0) s = candidate;
-          }
-        } else {
-          s = TrainAndProbeGraph(backbone, datasets[d],
-                                 profiles[d].num_classes, weight,
-                                 /*epochs=*/10, /*runs=*/3, /*dim=*/24);
-        }
         std::printf(" %14s", Cell(s).c_str());
-        std::fflush(stdout);
         if (weight == 0.0) raw_score[d] = s.mean;
         if (is_fg && raw_score.count(d) > 0) {
           ++fg_cells;
@@ -124,8 +137,9 @@ int main() {
         }
       }
       std::printf("\n");
+      std::fflush(stdout);
     }
-    PrintRule(18 + 15 * static_cast<int>(profiles.size()));
+    PrintRule(18 + 15 * num_datasets);
   }
 
   std::printf("\nSummary: XXX(f+g) >= XXX on %d / %d backbone-dataset "

@@ -55,38 +55,40 @@ int main() {
     datasets.push_back(GenerateNodeDataset(NodeProfileByName(n), 11));
   }
 
+  const int num_datasets = static_cast<int>(datasets.size());
+  // Dataset cells of each row run in parallel on the pool (every cell
+  // owns its seeds, so the grid is deterministic); the resolved row is
+  // printed afterwards in dataset order.
+  auto print_row = [&](const char* label, const std::vector<double>& row) {
+    std::printf("%-12s", label);
+    for (double acc : row) std::printf(" %11.2f", 100.0 * acc);
+    std::printf("\n");
+    std::fflush(stdout);
+  };
+
   // Reference rows: raw features, DeepWalk, supervised GCN, DGI.
-  std::printf("%-12s", "Raw feat.");
-  for (const NodeDataset& data : datasets) {
-    std::printf(" %11.2f",
-                100.0 * ProbeNodeAccuracy(data.graph.features, data));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-12s", "DeepWalk");
-  for (const NodeDataset& data : datasets) {
-    Node2VecConfig n2v;
-    n2v.dim = 32;
-    std::printf(" %11.2f", 100.0 * ProbeNodeAccuracy(
-                               DeepWalkEmbeddings(data.graph, n2v), data));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-12s", "Sup. GCN");
-  for (const NodeDataset& data : datasets) {
-    SupervisedGcnConfig sup;
-    std::printf(" %11.2f", 100.0 * TrainSupervisedGcn(data, sup));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-12s", "DGI");
-  for (const NodeDataset& data : datasets) {
-    Rng rng(23);
-    DgiConfig config;
-    config.encoder = NodeEncoder(data.graph.feature_dim());
-    Dgi model(config, rng);
-    std::printf(" %11.2f", 100.0 * ProbeNodeAccuracy(
-                               TrainNodeModel(model, data, 30), data));
-    std::fflush(stdout);
-  }
-  std::printf("\n");
+  print_row("Raw feat.", ParallelGrid<double>(num_datasets, [&](int d) {
+              return ProbeNodeAccuracy(datasets[d].graph.features,
+                                       datasets[d]);
+            }));
+  print_row("DeepWalk", ParallelGrid<double>(num_datasets, [&](int d) {
+              Node2VecConfig n2v;
+              n2v.dim = 32;
+              return ProbeNodeAccuracy(
+                  DeepWalkEmbeddings(datasets[d].graph, n2v), datasets[d]);
+            }));
+  print_row("Sup. GCN", ParallelGrid<double>(num_datasets, [&](int d) {
+              SupervisedGcnConfig sup;
+              return TrainSupervisedGcn(datasets[d], sup);
+            }));
+  print_row("DGI", ParallelGrid<double>(num_datasets, [&](int d) {
+              Rng rng(23);
+              DgiConfig config;
+              config.encoder = NodeEncoder(datasets[d].graph.feature_dim());
+              Dgi model(config, rng);
+              return ProbeNodeAccuracy(TrainNodeModel(model, datasets[d], 30),
+                                       datasets[d]);
+            }));
   PrintRule(12 + 12 * static_cast<int>(names.size()));
 
   struct Row {
@@ -101,35 +103,31 @@ int main() {
 
   std::vector<std::vector<double>> scores(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
-    std::printf("%-12s", rows[r].label.c_str());
-    for (const NodeDataset& data : datasets) {
+    scores[r] = ParallelGrid<double>(num_datasets, [&](int d) {
+      const NodeDataset& data = datasets[d];
       Rng rng(21);
-      double acc = 0.0;
       const int in_dim = data.graph.feature_dim();
       if (rows[r].kind == 0) {
         GraceConfig config;
         config.encoder = NodeEncoder(in_dim);
         config.grad_gcl.weight = rows[r].weight;
         Gca model(config, rng);
-        acc = ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
-      } else if (rows[r].kind == 1) {
+        return ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
+      }
+      if (rows[r].kind == 1) {
         BgrlConfig config;
         config.encoder = NodeEncoder(in_dim);
         config.grad_gcl.weight = rows[r].weight;
         Bgrl model(config, rng);
-        acc = ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
-      } else {
-        SgclConfig config;
-        config.encoder = NodeEncoder(in_dim);
-        config.grad_gcl.weight = rows[r].weight;
-        Sgcl model(config, rng);
-        acc = ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
+        return ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
       }
-      scores[r].push_back(acc);
-      std::printf(" %11.2f", 100.0 * acc);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
+      SgclConfig config;
+      config.encoder = NodeEncoder(in_dim);
+      config.grad_gcl.weight = rows[r].weight;
+      Sgcl model(config, rng);
+      return ProbeNodeAccuracy(TrainNodeModel(model, data, 30), data);
+    });
+    print_row(rows[r].label.c_str(), scores[r]);
   }
   PrintRule(12 + 12 * static_cast<int>(names.size()));
 

@@ -40,4 +40,18 @@ namespace gradgcl::internal {
     }                                                                    \
   } while (0)
 
+// Debug-only check for per-element hot paths (e.g. Matrix::operator()
+// bounds): active in debug builds, compiled out under NDEBUG so checked
+// element access costs nothing in release kernels. The condition is
+// still type-checked (but never evaluated) in release builds.
+#ifdef NDEBUG
+#define GRADGCL_DCHECK(cond)     \
+  do {                           \
+    if (false && (cond)) {       \
+    }                            \
+  } while (0)
+#else
+#define GRADGCL_DCHECK(cond) GRADGCL_CHECK(cond)
+#endif
+
 #endif  // GRADGCL_COMMON_CHECK_H_

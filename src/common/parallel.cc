@@ -1,0 +1,234 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gradgcl {
+
+namespace {
+
+// Set while a thread (worker or caller) executes chunks of a region.
+thread_local bool tls_in_region = false;
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+// GRADGCL_NUM_THREADS, or the hardware default when unset/invalid.
+int EnvNumThreads() {
+  const char* env = std::getenv("GRADGCL_NUM_THREADS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  return HardwareThreads();
+}
+
+// Process-wide pool: `num_threads - 1` workers plus the calling thread.
+// One region runs at a time (run_mutex_); nested calls never reach the
+// pool because ParallelFor executes them inline (tls_in_region).
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: joined threads
+    return *pool;                                // must outlive exit races
+  }
+
+  int num_threads() {
+    std::lock_guard<std::mutex> config(config_mutex_);
+    EnsureStartedLocked();
+    return num_threads_;
+  }
+
+  // Fast path for ShouldParallelize: avoids the config mutex once the
+  // pool is running.
+  int cached_num_threads() {
+    const int n = cached_threads_.load(std::memory_order_relaxed);
+    return n > 0 ? n : num_threads();
+  }
+
+  void Resize(int n) {
+    std::lock_guard<std::mutex> config(config_mutex_);
+    GRADGCL_CHECK_MSG(!tls_in_region,
+                      "SetNumThreads called inside a parallel region");
+    StopLocked();
+    num_threads_ = n >= 1 ? n : HardwareThreads();
+    StartLocked();
+  }
+
+  void Run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> config(config_mutex_);
+      EnsureStartedLocked();
+    }
+    std::lock_guard<std::mutex> run(run_mutex_);
+    if (grain < 1) grain = 1;
+    const int threads = cached_threads_.load(std::memory_order_relaxed);
+    const int64_t range = end - begin;
+    const int64_t max_chunks = (range + grain - 1) / grain;
+    const int nchunks =
+        static_cast<int>(max_chunks < threads ? max_chunks : threads);
+    if (nchunks <= 1 || threads <= 1) {
+      tls_in_region = true;
+      fn(begin, end);
+      tls_in_region = false;
+      return;
+    }
+    Region region;
+    region.begin = begin;
+    region.end = end;
+    region.chunk = (range + nchunks - 1) / nchunks;
+    region.nchunks = nchunks;
+    region.fn = &fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region_ = region;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      workers_done_ = 0;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    // The caller works too; nested ParallelFor inside fn runs inline.
+    tls_in_region = true;
+    RunChunks(region);
+    tls_in_region = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return workers_done_ == num_workers_; });
+  }
+
+ private:
+  // One parallel region: a static partition of [begin, end) into
+  // nchunks contiguous chunks of size `chunk` (last one ragged).
+  struct Region {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t chunk = 0;
+    int nchunks = 0;
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  };
+
+  void EnsureStartedLocked() {
+    if (cached_threads_.load(std::memory_order_relaxed) > 0) return;
+    num_threads_ = EnvNumThreads();
+    StartLocked();
+  }
+
+  void StartLocked() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      num_workers_ = num_threads_ - 1;
+      workers_ready_ = 0;
+    }
+    workers_.reserve(num_threads_ - 1);
+    for (int i = 0; i < num_threads_ - 1; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    // Wait until every worker has registered (and snapshotted the
+    // current generation). A region published before a worker's first
+    // wait would otherwise be invisible to it, leaving the caller
+    // waiting for a check-in that never comes.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return workers_ready_ == num_workers_; });
+    cached_threads_.store(num_threads_, std::memory_order_relaxed);
+  }
+
+  void StopLocked() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+    num_workers_ = 0;
+  }
+
+  void WorkerLoop() {
+    tls_in_region = true;  // workers always run region chunks inline
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Start from the pool's current generation: a worker spawned after
+    // a resize must not mistake the previous pool's last region (whose
+    // fn pointer is long dead) for fresh work.
+    uint64_t seen_generation = generation_;
+    ++workers_ready_;
+    done_cv_.notify_all();
+    for (;;) {
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      const Region region = region_;
+      lock.unlock();
+      RunChunks(region);
+      lock.lock();
+      if (++workers_done_ == num_workers_) done_cv_.notify_one();
+    }
+  }
+
+  // Claims chunks until the region is exhausted. Chunk boundaries are a
+  // pure function of (range, grain, num_threads); which thread runs a
+  // chunk is dynamic, but every chunk writes a disjoint output range in
+  // a fixed iteration order, so scheduling cannot affect results.
+  void RunChunks(const Region& region) {
+    for (;;) {
+      const int c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= region.nchunks) break;
+      const int64_t chunk_begin = region.begin + c * region.chunk;
+      int64_t chunk_end = chunk_begin + region.chunk;
+      if (chunk_end > region.end) chunk_end = region.end;
+      (*region.fn)(chunk_begin, chunk_end);
+    }
+  }
+
+  std::mutex config_mutex_;  // guards pool start/resize
+  std::mutex run_mutex_;     // serializes top-level regions
+  int num_threads_ = 0;
+  std::atomic<int> cached_threads_{0};
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  // guards region_, generation_, counters below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Region region_;
+  std::atomic<int> next_chunk_{0};
+  uint64_t generation_ = 0;
+  int num_workers_ = 0;   // workers of the current pool configuration
+  int workers_ready_ = 0;  // workers registered since the last (re)start
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int NumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Instance().Resize(n); }
+
+bool InParallelRegion() { return tls_in_region; }
+
+namespace internal {
+
+bool ShouldParallelize(int64_t range, int64_t grain) {
+  if (tls_in_region || range <= (grain < 1 ? 1 : grain)) return false;
+  return ThreadPool::Instance().cached_num_threads() > 1;
+}
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Instance().Run(begin, end, grain, fn);
+}
+
+}  // namespace internal
+
+}  // namespace gradgcl

@@ -1,0 +1,74 @@
+// Deterministic parallel-for substrate.
+//
+// A lazily-initialized, process-wide thread pool executes
+// ParallelFor(begin, end, grain, fn) by splitting [begin, end) into at
+// most NumThreads() contiguous chunks of at least `grain` iterations
+// and invoking fn(chunk_begin, chunk_end) once per chunk. Determinism
+// contract (DESIGN.md §5 "Threading model"): every output element must
+// be computed entirely inside one chunk with a thread-count-independent
+// iteration order, so results are bit-identical for every pool size —
+// chunk boundaries may move, but no floating-point sum is ever split
+// across chunks.
+//
+// Pool size comes from GRADGCL_NUM_THREADS (default: hardware
+// concurrency; "1" restores fully serial execution). SetNumThreads
+// reconfigures the pool at runtime, which the determinism tests and the
+// kernel-scaling bench use to compare thread counts in-process.
+//
+// Nested ParallelFor calls (e.g. a parallel k-fold probe inside a
+// parallel bench grid cell) run serially inline on the calling worker;
+// only the outermost region fans out. ParallelFor is safe to call from
+// any thread, including before the pool has started.
+
+#ifndef GRADGCL_COMMON_PARALLEL_H_
+#define GRADGCL_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace gradgcl {
+
+// Number of threads the pool runs with (>= 1). Starts the pool lazily.
+int NumThreads();
+
+// Reconfigures the pool to `n` threads (n <= 0 selects the hardware
+// default). Joins the old workers first; safe to call between parallel
+// regions, not from inside one.
+void SetNumThreads(int n);
+
+// True when the calling thread is executing inside a parallel region;
+// nested ParallelFor calls then run inline.
+bool InParallelRegion();
+
+namespace internal {
+
+// True when [0, range) should fan out to the pool: more than one
+// thread, range > grain, and not already inside a region.
+bool ShouldParallelize(int64_t range, int64_t grain);
+
+// Dispatches fn over static contiguous chunks on the pool.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace internal
+
+// Invokes fn(chunk_begin, chunk_end) over a static contiguous partition
+// of [begin, end); chunks hold at least `grain` iterations. Serial
+// execution (small range, single thread, nested call) invokes
+// fn(begin, end) once, with no std::function or allocation overhead.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (!internal::ShouldParallelize(end - begin, grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(
+      begin, end, grain,
+      std::function<void(int64_t, int64_t)>(std::forward<Fn>(fn)));
+}
+
+}  // namespace gradgcl
+
+#endif  // GRADGCL_COMMON_PARALLEL_H_

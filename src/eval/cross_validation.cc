@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace gradgcl {
 
 ScoreSummary Summarize(const std::vector<double>& scores) {
@@ -40,32 +42,37 @@ ScoreSummary CrossValidateAccuracy(const Matrix& embeddings,
   const std::vector<std::vector<int>> splits =
       KFoldSplits(embeddings.rows(), folds, rng);
 
-  std::vector<double> fold_accuracies;
-  fold_accuracies.reserve(folds);
-  for (int fold = 0; fold < folds; ++fold) {
-    std::vector<int> train_idx;
-    for (int other = 0; other < folds; ++other) {
-      if (other == fold) continue;
-      train_idx.insert(train_idx.end(), splits[other].begin(),
-                       splits[other].end());
+  // Folds are independent (frozen embeddings, per-fold probe with its
+  // own seed), so they parallelize; each fold writes only its slot and
+  // computes exactly what the serial loop did, keeping the summary
+  // bit-identical for every thread count.
+  std::vector<double> fold_accuracies(folds, 0.0);
+  ParallelFor(0, folds, 1, [&](int64_t f0, int64_t f1) {
+    for (int64_t fold = f0; fold < f1; ++fold) {
+      std::vector<int> train_idx;
+      for (int other = 0; other < folds; ++other) {
+        if (other == fold) continue;
+        train_idx.insert(train_idx.end(), splits[other].begin(),
+                         splits[other].end());
+      }
+      const std::vector<int>& test_idx = splits[fold];
+
+      Matrix train_x = embeddings.Gather(train_idx);
+      std::vector<int> train_y;
+      train_y.reserve(train_idx.size());
+      for (int i : train_idx) train_y.push_back(labels[i]);
+
+      LinearProbe probe =
+          LinearProbe::Fit(train_x, train_y, num_classes, options);
+
+      Matrix test_x = embeddings.Gather(test_idx);
+      std::vector<int> test_y;
+      test_y.reserve(test_idx.size());
+      for (int i : test_idx) test_y.push_back(labels[i]);
+
+      fold_accuracies[fold] = Accuracy(probe.Predict(test_x), test_y);
     }
-    const std::vector<int>& test_idx = splits[fold];
-
-    Matrix train_x = embeddings.Gather(train_idx);
-    std::vector<int> train_y;
-    train_y.reserve(train_idx.size());
-    for (int i : train_idx) train_y.push_back(labels[i]);
-
-    LinearProbe probe =
-        LinearProbe::Fit(train_x, train_y, num_classes, options);
-
-    Matrix test_x = embeddings.Gather(test_idx);
-    std::vector<int> test_y;
-    test_y.reserve(test_idx.size());
-    for (int i : test_idx) test_y.push_back(labels[i]);
-
-    fold_accuracies.push_back(Accuracy(probe.Predict(test_x), test_y));
-  }
+  });
   return Summarize(fold_accuracies);
 }
 

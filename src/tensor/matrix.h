@@ -73,12 +73,14 @@ class Matrix {
   int size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
 
+  // Bounds are checked in debug builds only (GRADGCL_DCHECK): checked
+  // access in release builds taxed every hot loop not using data().
   double& operator()(int i, int j) {
-    GRADGCL_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    GRADGCL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<size_t>(i) * cols_ + j];
   }
   double operator()(int i, int j) const {
-    GRADGCL_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    GRADGCL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<size_t>(i) * cols_ + j];
   }
 

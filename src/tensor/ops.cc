@@ -3,63 +3,123 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace gradgcl {
+
+namespace {
+
+// Rows of b (resp. columns of the k-dimension) processed per cache
+// block: 32 rows x 512 doubles = 128 KiB, sized for L2 residency while
+// a strip of output rows streams over the block.
+constexpr int kKBlock = 32;
+
+// Row grain so each chunk carries at least ~2^15 multiply-adds.
+int64_t RowGrain(int64_t work_per_row) {
+  constexpr int64_t kMinWorkPerChunk = 1 << 15;
+  if (work_per_row <= 0) return 1;
+  const int64_t grain = kMinWorkPerChunk / work_per_row;
+  return grain < 1 ? 1 : grain;
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  Matrix out(n, m, 0.0);
-  // ikj loop order: streams through b and out rows contiguously.
-  for (int i = 0; i < n; ++i) {
-    const double* arow = a.data() + static_cast<size_t>(i) * k;
-    double* orow = out.data() + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
-      const double av = arow[kk];
-      if (av == 0.0) continue;
-      const double* brow = b.data() + static_cast<size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix out(a.rows(), b.cols(), 0.0);
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  // Row-parallel, k-blocked ikj: each chunk owns a strip of output
+  // rows; a k-block of b stays cache-hot while the strip streams over
+  // it. Per output element the accumulation order is kk ascending for
+  // any blocking/thread count, so results are bit-identical.
+  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
+    for (int64_t kb = 0; kb < k; kb += kKBlock) {
+      const int64_t kend = std::min(k, kb + kKBlock);
+      for (int64_t i = r0; i < r1; ++i) {
+        const double* arow = adata + i * k;
+        double* orow = odata + i * m;
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const double av = arow[kk];
+          if (av == 0.0) continue;
+          const double* brow = bdata + kk * m;
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA shape mismatch");
-  const int n = a.cols(), k = a.rows(), m = b.cols();
-  Matrix out(n, m, 0.0);
-  for (int kk = 0; kk < k; ++kk) {
-    const double* arow = a.data() + static_cast<size_t>(kk) * n;
-    const double* brow = b.data() + static_cast<size_t>(kk) * m;
-    for (int i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out.data() + static_cast<size_t>(i) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+  const int64_t n = a.cols(), k = a.rows(), m = b.cols();
+  Matrix out(a.cols(), b.cols(), 0.0);
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  // Each chunk owns a fixed-order strip of output rows (a column strip
+  // of a) and accumulates over kk ascending — never splitting a sum
+  // across chunks — so the reduction order is thread-count-invariant.
+  // k-blocking keeps the strip's output rows hot across the block.
+  ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t kb = 0; kb < k; kb += kKBlock) {
+      const int64_t kend = std::min(k, kb + kKBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        double* orow = odata + i * m;
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const double av = adata[kk * n + i];
+          if (av == 0.0) continue;
+          const double* brow = bdata + kk * m;
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB shape mismatch");
-  const int n = a.rows(), k = a.cols(), m = b.rows();
-  Matrix out(n, m);
-  for (int i = 0; i < n; ++i) {
-    const double* arow = a.data() + static_cast<size_t>(i) * k;
-    for (int j = 0; j < m; ++j) {
-      const double* brow = b.data() + static_cast<size_t>(j) * k;
-      double dot = 0.0;
-      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-      out(i, j) = dot;
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix out(a.rows(), b.rows());
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  // Row-parallel dot products; a tile of b rows is reused across the
+  // whole strip of a rows before moving on.
+  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
+    for (int64_t jb = 0; jb < m; jb += kKBlock) {
+      const int64_t jend = std::min(m, jb + kKBlock);
+      for (int64_t i = r0; i < r1; ++i) {
+        const double* arow = adata + i * k;
+        double* orow = odata + i * m;
+        for (int64_t j = jb; j < jend; ++j) {
+          const double* brow = bdata + j * k;
+          double dot = 0.0;
+          for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+          orow[j] = dot;
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out.at_flat(i) = a.at_flat(i) * b.at_flat(i);
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  ParallelFor(0, a.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  odata[i] = adata[i] * bdata[i];
+                }
+              });
   return out;
 }
 
@@ -82,12 +142,6 @@ Matrix operator*(const Matrix& a, double s) {
 }
 
 Matrix operator*(double s, const Matrix& a) { return a * s; }
-
-Matrix Map(const Matrix& a, const std::function<double(double)>& fn) {
-  Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out.at_flat(i) = fn(a.at_flat(i));
-  return out;
-}
 
 Matrix Exp(const Matrix& a) {
   return Map(a, [](double v) { return std::exp(v); });
@@ -113,13 +167,25 @@ Matrix Relu(const Matrix& a) {
   return Map(a, [](double v) { return v > 0.0 ? v : 0.0; });
 }
 
+// Row-wise kernels parallelize over rows: every output element is a
+// reduction along one row, computed entirely inside one chunk in index
+// order, so any thread count produces identical bits. Column-wise
+// reductions (ColSum/ColMean) stay serial — chunk-local partial sums
+// would make the reduction order depend on the thread count.
+
 Matrix RowSum(const Matrix& a) {
+  const int64_t cols = a.cols();
   Matrix out(a.rows(), 1, 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < a.cols(); ++j) sum += a(i, j);
-    out(i, 0) = sum;
-  }
+  const double* adata = a.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* arow = adata + i * cols;
+      double sum = 0.0;
+      for (int64_t j = 0; j < cols; ++j) sum += arow[j];
+      odata[i] = sum;
+    }
+  });
   return out;
 }
 
@@ -132,12 +198,18 @@ Matrix RowMean(const Matrix& a) {
 
 Matrix RowMax(const Matrix& a) {
   GRADGCL_CHECK(a.cols() > 0);
+  const int64_t cols = a.cols();
   Matrix out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    double best = a(i, 0);
-    for (int j = 1; j < a.cols(); ++j) best = std::max(best, a(i, j));
-    out(i, 0) = best;
-  }
+  const double* adata = a.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* arow = adata + i * cols;
+      double best = arow[0];
+      for (int64_t j = 1; j < cols; ++j) best = std::max(best, arow[j]);
+      odata[i] = best;
+    }
+  });
   return out;
 }
 
@@ -157,43 +229,61 @@ Matrix ColMean(const Matrix& a) {
 }
 
 Matrix RowNorms(const Matrix& a) {
+  const int64_t cols = a.cols();
   Matrix out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
-    out(i, 0) = std::sqrt(sum);
-  }
+  const double* adata = a.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* arow = adata + i * cols;
+      double sum = 0.0;
+      for (int64_t j = 0; j < cols; ++j) sum += arow[j] * arow[j];
+      odata[i] = std::sqrt(sum);
+    }
+  });
   return out;
 }
 
 Matrix RowNormalize(const Matrix& a, double eps) {
+  const int64_t cols = a.cols();
   Matrix out = a;
-  for (int i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
-    const double norm = std::sqrt(sum);
-    if (norm < eps) continue;
-    const double inv = 1.0 / norm;
-    for (int j = 0; j < a.cols(); ++j) out(i, j) *= inv;
-  }
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* orow = odata + i * cols;
+      double sum = 0.0;
+      for (int64_t j = 0; j < cols; ++j) sum += orow[j] * orow[j];
+      const double norm = std::sqrt(sum);
+      if (norm < eps) continue;
+      const double inv = 1.0 / norm;
+      for (int64_t j = 0; j < cols; ++j) orow[j] *= inv;
+    }
+  });
   return out;
 }
 
 Matrix RowSoftmax(const Matrix& a) {
   GRADGCL_CHECK(a.cols() > 0);
+  const int64_t cols = a.cols();
   Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    double mx = a(i, 0);
-    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, a(i, j));
-    double z = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      const double e = std::exp(a(i, j) - mx);
-      out(i, j) = e;
-      z += e;
+  const double* adata = a.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* arow = adata + i * cols;
+      double* orow = odata + i * cols;
+      double mx = arow[0];
+      for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, arow[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        const double e = std::exp(arow[j] - mx);
+        orow[j] = e;
+        z += e;
+      }
+      const double inv = 1.0 / z;
+      for (int64_t j = 0; j < cols; ++j) orow[j] *= inv;
     }
-    const double inv = 1.0 / z;
-    for (int j = 0; j < a.cols(); ++j) out(i, j) *= inv;
-  }
+  });
   return out;
 }
 
@@ -205,35 +295,54 @@ Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
 Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK(a.cols() == b.cols());
   const Matrix dots = MatMulTransB(a, b);
-  Matrix a2 = RowNorms(a);
-  Matrix b2 = RowNorms(b);
+  const Matrix a2 = RowNorms(a);
+  const Matrix b2 = RowNorms(b);
+  const int64_t m = b.rows();
   Matrix out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double ai = a2(i, 0) * a2(i, 0);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double bj = b2(j, 0) * b2(j, 0);
-      out(i, j) = std::max(0.0, ai + bj - 2.0 * dots(i, j));
+  const double* ddata = dots.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(m), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double ai = a2.at_flat(i) * a2.at_flat(i);
+      const double* drow = ddata + i * m;
+      double* orow = odata + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        const double bj = b2.at_flat(j) * b2.at_flat(j);
+        orow[j] = std::max(0.0, ai + bj - 2.0 * drow[j]);
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   GRADGCL_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  const int64_t cols = a.cols();
   Matrix out = a;
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) out(i, j) += row(0, j);
-  }
+  const double* rdata = row.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* orow = odata + i * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += rdata[j];
+    }
+  });
   return out;
 }
 
 Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
   GRADGCL_CHECK(scale.rows() == a.rows() && scale.cols() == 1);
+  const int64_t cols = a.cols();
   Matrix out = a;
-  for (int i = 0; i < a.rows(); ++i) {
-    const double s = scale(i, 0);
-    for (int j = 0; j < a.cols(); ++j) out(i, j) *= s;
-  }
+  const double* sdata = scale.data();
+  double* odata = out.data();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double s = sdata[i];
+      double* orow = odata + i * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] *= s;
+    }
+  });
   return out;
 }
 

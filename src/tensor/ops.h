@@ -6,8 +6,7 @@
 #ifndef GRADGCL_TENSOR_OPS_H_
 #define GRADGCL_TENSOR_OPS_H_
 
-#include <functional>
-
+#include "common/parallel.h"
 #include "tensor/matrix.h"
 
 namespace gradgcl {
@@ -33,8 +32,25 @@ Matrix operator-(const Matrix& a, const Matrix& b);
 Matrix operator*(const Matrix& a, double s);
 Matrix operator*(double s, const Matrix& a);
 
-// Applies `fn` elementwise.
-Matrix Map(const Matrix& a, const std::function<double(double)>& fn);
+// Minimum elements per chunk before an elementwise kernel fans out to
+// the thread pool; below this the dispatch overhead dominates.
+inline constexpr int64_t kElementwiseGrain = 1 << 14;
+
+// Applies `fn` elementwise. Templated so callers' lambdas inline into
+// the loop (the old std::function signature paid an indirect call per
+// element); large matrices are chunk-parallel, which is deterministic
+// because fn is applied independently per element.
+template <typename Fn>
+Matrix Map(const Matrix& a, Fn&& fn) {
+  Matrix out(a.rows(), a.cols());
+  const double* src = a.data();
+  double* dst = out.data();
+  ParallelFor(0, a.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) dst[i] = fn(src[i]);
+              });
+  return out;
+}
 
 // Elementwise exp / log / tanh / sqrt / abs.
 Matrix Exp(const Matrix& a);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace gradgcl {
 
 SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
@@ -35,21 +37,40 @@ SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
 
 Matrix SparseMatrix::Multiply(const Matrix& x) const {
   GRADGCL_CHECK_MSG(x.rows() == cols_, "SparseMatrix::Multiply shape mismatch");
+  const int64_t cols = x.cols();
   Matrix y(rows_, x.cols(), 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    double* yrow = y.data() + static_cast<size_t>(r) * x.cols();
-    for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* xrow = x.data() + static_cast<size_t>(col_indices_[k]) * x.cols();
-      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  const double* xdata = x.data();
+  double* ydata = y.data();
+  // The GCN/GIN aggregation hot path. Row-parallel over CSR rows: each
+  // output row is one chunk's private accumulation in CSR order, so
+  // results are bit-identical for every thread count. Grain assumes the
+  // average row density; skewed rows just make chunks uneven.
+  const int64_t avg_row_work =
+      rows_ > 0 ? (static_cast<int64_t>(nnz()) * cols) / rows_ : 0;
+  constexpr int64_t kMinWorkPerChunk = 1 << 15;
+  const int64_t grain =
+      avg_row_work > 0 ? std::max<int64_t>(1, kMinWorkPerChunk / avg_row_work)
+                       : rows_;
+  ParallelFor(0, rows_, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double* yrow = ydata + r * cols;
+      for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        const double v = values_[k];
+        const double* xrow =
+            xdata + static_cast<int64_t>(col_indices_[k]) * cols;
+        for (int64_t j = 0; j < cols; ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  });
   return y;
 }
 
 Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
   GRADGCL_CHECK_MSG(x.rows() == rows_,
                     "SparseMatrix::MultiplyTransposed shape mismatch");
+  // Stays serial: the CSR walk scatters into arbitrary output rows, so
+  // row-parallelism would race and per-thread buffers would change the
+  // accumulation order with the thread count (DESIGN.md §5).
   Matrix y(cols_, x.cols(), 0.0);
   for (int r = 0; r < rows_; ++r) {
     const double* xrow = x.data() + static_cast<size_t>(r) * x.cols();

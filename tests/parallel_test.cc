@@ -1,0 +1,276 @@
+// Tests for the deterministic parallel substrate: pool lifecycle and
+// ParallelFor coverage, plus the determinism contract — the parallel
+// blocked kernels must equal the naive serial reference and be
+// bit-identical for every thread count (DESIGN.md §5 "Threading
+// model").
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "eval/cross_validation.h"
+#include "eval/spectrum.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace gradgcl {
+namespace {
+
+// Restores the pool size a test changed, even on assertion failure.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(NumThreads()) {}
+  ~ThreadGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Marks each index of [0, n) once; duplicates or gaps fail the test.
+void ExpectExactCoverage(int64_t n, int64_t grain) {
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, n, grain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of n=" << n
+                                 << " grain=" << grain;
+  }
+}
+
+TEST(ParallelForTest, CoversExactRanges) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    ExpectExactCoverage(0, 1);    // empty range: fn never runs
+    ExpectExactCoverage(1, 1);    // single element
+    ExpectExactCoverage(97, 1);   // prime-sized, grain 1
+    ExpectExactCoverage(101, 7);  // prime-sized, ragged chunks
+    ExpectExactCoverage(64, 100);  // grain larger than range: serial
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NonZeroBeginOffsetsChunks) {
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(40, 100, 5, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(hits[i].load(), 0);
+  for (int i = 40; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelPoolTest, StartupShutdownResize) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  EXPECT_EQ(NumThreads(), 4);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  ExpectExactCoverage(57, 1);
+  SetNumThreads(0);  // hardware default
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST(ParallelPoolTest, NestedCallsRunInline) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, 1, [&](int64_t o0, int64_t o1) {
+    for (int64_t outer = o0; outer < o1; ++outer) {
+      EXPECT_TRUE(InParallelRegion());
+      // The nested region must complete inline without deadlock.
+      int64_t local = 0;
+      ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) local += i;
+      });
+      EXPECT_EQ(local, 4950);
+      total.fetch_add(local);
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(total.load(), 8 * 4950);
+}
+
+TEST(ParallelPoolTest, ReentrantRegionsAfterResize) {
+  ThreadGuard guard;
+  for (int round = 0; round < 3; ++round) {
+    SetNumThreads(round + 2);
+    ExpectExactCoverage(127, 3);
+    ExpectExactCoverage(128, 1);
+  }
+}
+
+// --- Kernel determinism -----------------------------------------------------
+
+// Naive triple-loop reference, jik order with an ascending-k dot — the
+// same per-element accumulation order as the blocked kernels, so
+// equality must be exact, not approximate.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < a.cols(); ++k) dot += a(i, k) * b(k, j);
+      out(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const Matrix& actual, const Matrix& expected,
+                        const char* what) {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(double) * actual.size()),
+            0)
+      << what << " differs from the single-thread result";
+}
+
+// Runs `kernel` at 1/2/8 threads and requires byte-identical outputs.
+template <typename Kernel>
+Matrix ExpectThreadCountInvariant(Kernel kernel, const char* what) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const Matrix reference = kernel();
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(kernel(), reference, what);
+  }
+  return reference;
+}
+
+TEST(KernelDeterminismTest, MatMulMatchesNaiveOnOddShapes) {
+  Rng rng(41);
+  const Matrix a = Matrix::RandomNormal(67, 129, rng);
+  const Matrix b = Matrix::RandomNormal(129, 43, rng);
+  const Matrix reference =
+      ExpectThreadCountInvariant([&] { return MatMul(a, b); }, "MatMul");
+  // Same ascending-k accumulation order as the naive loop → exact.
+  ExpectBitIdentical(reference, NaiveMatMul(a, b), "MatMul vs naive");
+}
+
+TEST(KernelDeterminismTest, MatMulTransAMatchesNaive) {
+  Rng rng(42);
+  const Matrix a = Matrix::RandomNormal(115, 37, rng);
+  const Matrix b = Matrix::RandomNormal(115, 53, rng);
+  const Matrix reference = ExpectThreadCountInvariant(
+      [&] { return MatMulTransA(a, b); }, "MatMulTransA");
+  ExpectBitIdentical(reference, NaiveMatMul(a.Transposed(), b),
+                     "MatMulTransA vs naive");
+}
+
+TEST(KernelDeterminismTest, MatMulTransBMatchesNaive) {
+  Rng rng(43);
+  const Matrix a = Matrix::RandomNormal(61, 71, rng);
+  const Matrix b = Matrix::RandomNormal(47, 71, rng);
+  const Matrix reference = ExpectThreadCountInvariant(
+      [&] { return MatMulTransB(a, b); }, "MatMulTransB");
+  ExpectBitIdentical(reference, NaiveMatMul(a, b.Transposed()),
+                     "MatMulTransB vs naive");
+}
+
+TEST(KernelDeterminismTest, SparseMultiplyMatchesDense) {
+  Rng rng(44);
+  const int n = 211, m = 97;
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 6 * n; ++i) {
+    triplets.push_back({rng.UniformInt(n), rng.UniformInt(m), rng.Normal()});
+  }
+  const SparseMatrix s(n, m, triplets);
+  const Matrix x = Matrix::RandomNormal(m, 29, rng);
+  const Matrix reference = ExpectThreadCountInvariant(
+      [&] { return s.Multiply(x); }, "SparseMatrix::Multiply");
+  // CSR walk and the dense kernel sum in different orders: tolerance.
+  EXPECT_TRUE(AllClose(reference, MatMul(s.ToDense(), x), 1e-9));
+}
+
+TEST(KernelDeterminismTest, ElementwiseAndRowKernelsInvariant) {
+  Rng rng(45);
+  const Matrix a = Matrix::RandomNormal(301, 47, rng);
+  ExpectThreadCountInvariant([&] { return Exp(a * 0.1); }, "Exp");
+  ExpectThreadCountInvariant([&] { return Relu(a); }, "Relu");
+  ExpectThreadCountInvariant([&] { return Hadamard(a, a); }, "Hadamard");
+  ExpectThreadCountInvariant([&] { return RowSum(a); }, "RowSum");
+  ExpectThreadCountInvariant([&] { return RowNormalize(a); }, "RowNormalize");
+  ExpectThreadCountInvariant([&] { return RowSoftmax(a); }, "RowSoftmax");
+}
+
+TEST(KernelDeterminismTest, MapTemplateInlinesLambda) {
+  Rng rng(46);
+  const Matrix a = Matrix::RandomNormal(129, 130, rng);
+  const Matrix doubled =
+      ExpectThreadCountInvariant([&] { return Map(a, [](double v) {
+                                         return 2.0 * v;
+                                       }); },
+                                 "Map");
+  for (int i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(doubled.at_flat(i), 2.0 * a.at_flat(i));
+  }
+}
+
+// End-to-end determinism of the evaluation grids the benches rely on:
+// k-fold accuracies and covariance spectra must not move by a bit when
+// the pool grows (ISSUE acceptance: accuracies/spectra byte-identical
+// across thread counts, verified by a test).
+TEST(EvalDeterminismTest, CrossValidationInvariantAcrossThreadCounts) {
+  Rng rng(47);
+  const int n = 120, classes = 3;
+  Matrix embeddings = Matrix::RandomNormal(n, 16, rng);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = i % classes;
+    // Separate the classes so accuracies are non-trivial.
+    embeddings(i, labels[i]) += 2.0;
+  }
+  ThreadGuard guard;
+  ProbeOptions probe;
+  SetNumThreads(1);
+  const ScoreSummary reference =
+      CrossValidateAccuracy(embeddings, labels, classes, 5, probe, 99);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const ScoreSummary summary =
+        CrossValidateAccuracy(embeddings, labels, classes, 5, probe, 99);
+    EXPECT_EQ(summary.mean, reference.mean);
+    EXPECT_EQ(summary.stddev, reference.stddev);
+    EXPECT_EQ(summary.count, reference.count);
+  }
+  EXPECT_GT(reference.mean, 0.5);
+}
+
+TEST(EvalDeterminismTest, SpectrumInvariantAcrossThreadCounts) {
+  Rng rng(48);
+  const Matrix reps = Matrix::RandomNormal(200, 24, rng);
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const SpectrumReport reference = AnalyzeSpectrum(reps);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const SpectrumReport report = AnalyzeSpectrum(reps);
+    ASSERT_EQ(report.singular_values.size(),
+              reference.singular_values.size());
+    for (size_t i = 0; i < reference.singular_values.size(); ++i) {
+      EXPECT_EQ(report.singular_values[i], reference.singular_values[i]);
+    }
+    EXPECT_EQ(report.effective_rank, reference.effective_rank);
+  }
+}
+
+}  // namespace
+}  // namespace gradgcl
