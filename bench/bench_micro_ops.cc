@@ -1,11 +1,13 @@
 // Op-level microbenchmarks (not a paper table; supports the Table VIII
 // overhead analysis): raw kernels, the InfoNCE loss, and the gradient-
-// feature op, forward and forward+backward. After the google-benchmark
-// section, a kernel-scaling grid times the parallel kernels (dense
-// matmul, the batched-graph SpMM aggregation, row softmax) at 1/2/4
-// pool threads, checks the outputs are bit-identical across thread
-// counts, and emits BENCH_kernels.json so the perf trajectory is
-// machine-readable across PRs.
+// feature op, forward and forward+backward — the loss-pipeline ops run
+// as fused/unfused pairs, and a tape-step benchmark compares the
+// pooled allocator against plain heap buffers with per-step allocation
+// counters. After the google-benchmark section, a kernel-scaling grid
+// times the parallel kernels (dense matmul, the batched-graph SpMM
+// aggregation, row softmax) at 1/2/4 pool threads, checks the outputs
+// are bit-identical across thread counts, and emits BENCH_kernels.json
+// so the perf trajectory is machine-readable across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +26,7 @@
 #include "losses/contrastive.h"
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "tensor/sparse.h"
 
 namespace {
@@ -88,8 +91,13 @@ void BM_InfoNceBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_InfoNceBackward)->Arg(64)->Arg(256);
 
+// range(1) selects the kernel path: 0 = unfused reference composition,
+// 1 = fused kernels (both bit-identical; see tests/pool_test.cc).
 void BM_GradientFeaturesForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) == 1;
+  const bool restore = FusedKernelsEnabled();
+  SetFusedKernelsEnabled(fused);
   Rng rng(6);
   Variable u(Matrix::RandomNormal(n, 32, rng));
   Variable v(Matrix::RandomNormal(n, 32, rng));
@@ -97,11 +105,35 @@ void BM_GradientFeaturesForward(benchmark::State& state) {
     benchmark::DoNotOptimize(
         InfoNceGradientFeatures(u, v, 0.5).value().FrobeniusNorm());
   }
+  state.SetLabel(fused ? "fused" : "unfused");
+  SetFusedKernelsEnabled(restore);
 }
-BENCHMARK(BM_GradientFeaturesForward)->Arg(64)->Arg(256);
+BENCHMARK(BM_GradientFeaturesForward)->ArgsProduct({{64, 256}, {0, 1}});
+
+void BM_GradientFeaturesBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) == 1;
+  const bool restore = FusedKernelsEnabled();
+  SetFusedKernelsEnabled(fused);
+  Rng rng(8);
+  Variable u(Matrix::RandomNormal(n, 32, rng), true);
+  Variable v(Matrix::RandomNormal(n, 32, rng), true);
+  for (auto _ : state) {
+    u.ZeroGrad();
+    v.ZeroGrad();
+    Backward(ag::Sum(InfoNceGradientFeatures(u, v, 0.5)));
+    benchmark::DoNotOptimize(u.grad());
+  }
+  state.SetLabel(fused ? "fused" : "unfused");
+  SetFusedKernelsEnabled(restore);
+}
+BENCHMARK(BM_GradientFeaturesBackward)->ArgsProduct({{64, 256}, {0, 1}});
 
 void BM_GradGclCombinedBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) == 1;
+  const bool restore = FusedKernelsEnabled();
+  SetFusedKernelsEnabled(fused);
   Rng rng(7);
   Variable u(Matrix::RandomNormal(n, 32, rng), true);
   Variable v(Matrix::RandomNormal(n, 32, rng), true);
@@ -115,8 +147,52 @@ void BM_GradGclCombinedBackward(benchmark::State& state) {
     Backward(ag::Add(ag::ScalarMul(lf, 0.5), ag::ScalarMul(lg, 0.5)));
     benchmark::DoNotOptimize(u.grad());
   }
+  state.SetLabel(fused ? "fused" : "unfused");
+  SetFusedKernelsEnabled(restore);
 }
-BENCHMARK(BM_GradGclCombinedBackward)->Arg(64)->Arg(256);
+BENCHMARK(BM_GradGclCombinedBackward)->ArgsProduct({{64, 256}, {0, 1}});
+
+// A full tape step (forward, backward, grad read) under a TapeScope,
+// with the pool on (range(0) = 1) or off. The counters expose the
+// per-step allocation behaviour: the pooled leg should report ~0 heap
+// allocations per step after its warm-up.
+void BM_TapeStepAlloc(benchmark::State& state) {
+  const bool pooled = state.range(0) == 1;
+  const bool restore = PoolingEnabled();
+  SetPoolingEnabled(pooled);
+  Rng rng(9);
+  // Parameter created outside any scope: pool-exempt, like the trainer.
+  Variable w(Matrix::RandomNormal(32, 32, rng), true);
+  const Matrix x = Matrix::RandomNormal(128, 32, rng);
+  const Matrix y = Matrix::RandomNormal(128, 32, rng);
+  const auto step = [&] {
+    TapeScope tape;
+    w.ZeroGrad();
+    Variable u = ag::Tanh(ag::MatMul(Variable(x), w));
+    Variable v = ag::Tanh(ag::MatMul(Variable(y), w));
+    Variable loss = InfoNce(u, v, 0.5);
+    Backward(loss);
+    return loss.scalar();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm the pool buckets
+
+  const PoolStats before = MatrixPool::Instance().stats();
+  int64_t steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step());
+    ++steps;
+  }
+  const PoolStats after = MatrixPool::Instance().stats();
+  const double denom = static_cast<double>(steps);
+  state.counters["heap_allocs/step"] =
+      static_cast<double>(after.heap_allocs - before.heap_allocs) / denom;
+  state.counters["pool_hits/step"] =
+      static_cast<double>(after.pool_hits - before.pool_hits) / denom;
+  state.SetLabel(pooled ? "pooled" : "unpooled");
+  SetPoolingEnabled(restore);
+  MatrixPool::Instance().Trim();
+}
+BENCHMARK(BM_TapeStepAlloc)->Arg(0)->Arg(1);
 
 // --- Kernel-scaling grid ----------------------------------------------------
 

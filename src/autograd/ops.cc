@@ -1,5 +1,6 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.h"
@@ -462,6 +463,176 @@ Variable MaskedRowSoftmax(const Variable& a, const Matrix& mask) {
       }
     }
     out.parents[0]->AccumulateGrad(gx);
+  });
+}
+
+// The fused backward closures below replay the exact FP operation
+// sequence of the unfused chains they replace (same kernels, same
+// rounding points), so fused and unfused paths agree bit-for-bit —
+// including across thread counts, since every kernel involved keeps
+// reductions chunk-local. tests/pool_test.cc pins the equivalence
+// with exact (not tolerance) comparisons.
+
+Variable MatMulTransBScaled(const Variable& a, const Variable& b,
+                            double scale) {
+  return Variable::MakeOp(
+      gradgcl::MatMulTransBScaled(a.value(), b.value(), scale), {a, b},
+      [scale](Node& out) {
+        // Unfused: ScalarMul feeds G * scale into the MatMulTransB
+        // node, which then produces dA = (G s) B and dB = (G s)^T A.
+        Matrix g = out.grad;
+        g *= scale;
+        if (NeedsGrad(out.parents[0])) {
+          out.parents[0]->AccumulateGrad(
+              gradgcl::MatMul(g, out.parents[1]->value));
+        }
+        if (NeedsGrad(out.parents[1])) {
+          out.parents[1]->AccumulateGrad(
+              MatMulTransA(g, out.parents[0]->value));
+        }
+      });
+}
+
+Variable CosineGram(const Variable& u, double inv_tau, Variable* normalized) {
+  Variable un = RowNormalize(u);
+  if (normalized != nullptr) *normalized = un;
+  return MatMulTransBScaled(un, un, inv_tau);
+}
+
+Variable MaskedExpRowSum(const Variable& s, Variable* exp_out) {
+  GRADGCL_CHECK(s.rows() == s.cols());
+  Matrix e, rs;
+  gradgcl::MaskedExpRowSum(s.value(), &e, &rs);
+  Variable exp_s = Variable::MakeOp(std::move(e), {s}, [](Node& out) {
+    if (!NeedsGrad(out.parents[0])) return;
+    // d exp(s)/ds multiplied by the incoming grad; the stored diagonal
+    // zeros reproduce the unfused mask path's G_ii * 0.0.
+    out.parents[0]->AccumulateGrad(gradgcl::Hadamard(out.grad, out.value));
+  });
+  if (exp_out != nullptr) *exp_out = exp_s;
+  return Variable::MakeOp(std::move(rs), {exp_s}, [](Node& out) {
+    // Identical to the SumRows backward broadcast.
+    if (!NeedsGrad(out.parents[0])) return;
+    const Matrix& x = out.parents[0]->value;
+    Matrix g = Matrix::Uninitialized(x.rows(), x.cols());
+    for (int i = 0; i < x.rows(); ++i) {
+      for (int j = 0; j < x.cols(); ++j) g(i, j) = out.grad(i, 0);
+    }
+    out.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Variable ScaleRowsMatMul(const Variable& a, const Variable& scale,
+                         const Variable& b, double post) {
+  GRADGCL_CHECK(scale.rows() == a.rows() && scale.cols() == 1);
+  return Variable::MakeOp(
+      ScaleRowsMatMulScaled(a.value(), scale.value(), b.value(), post),
+      {a, scale, b}, [post](Node& out) {
+        const Matrix& av = out.parents[0]->value;
+        const Matrix& sv = out.parents[1]->value;
+        const Matrix& bv = out.parents[2]->value;
+        Matrix g = out.grad;
+        g *= post;
+        const bool need_a = NeedsGrad(out.parents[0]);
+        const bool need_s = NeedsGrad(out.parents[1]);
+        // Grad of the (unstored) scaled-rows intermediate, as the
+        // unfused MatMul backward would compute it.
+        Matrix ga;
+        if (need_a || need_s) ga = gradgcl::MatMulTransB(g, bv);
+        if (need_a) out.parents[0]->AccumulateGrad(ScaleRows(ga, sv));
+        if (need_s) {
+          Matrix gs(av.rows(), 1, 0.0);
+          for (int i = 0; i < av.rows(); ++i) {
+            double dot = 0.0;
+            for (int j = 0; j < av.cols(); ++j) dot += ga(i, j) * av(i, j);
+            gs(i, 0) = dot;
+          }
+          out.parents[1]->AccumulateGrad(gs);
+        }
+        if (NeedsGrad(out.parents[2])) {
+          // Recomputing diag(s) a costs the same FP ops as the forward
+          // ScaleRows did in the unfused path, so the bits match the
+          // stored intermediate it replaces.
+          out.parents[2]->AccumulateGrad(
+              MatMulTransA(ScaleRows(av, sv), g));
+        }
+      });
+}
+
+Variable MatMulScaled(const Variable& a, const Variable& b, double post) {
+  Matrix y = gradgcl::MatMul(a.value(), b.value());
+  y *= post;
+  return Variable::MakeOp(std::move(y), {a, b}, [post](Node& out) {
+    Matrix g = out.grad;
+    g *= post;
+    if (NeedsGrad(out.parents[0])) {
+      out.parents[0]->AccumulateGrad(
+          gradgcl::MatMulTransB(g, out.parents[1]->value));
+    }
+    if (NeedsGrad(out.parents[1])) {
+      out.parents[1]->AccumulateGrad(
+          MatMulTransA(out.parents[0]->value, g));
+    }
+  });
+}
+
+Variable OffDiagSigmoid(const Variable& a) {
+  return Variable::MakeOp(
+      gradgcl::OffDiagSigmoid(a.value()), {a}, [](Node& out) {
+        if (!NeedsGrad(out.parents[0])) return;
+        const int n = out.value.rows();
+        Matrix g = out.grad;
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) {
+            if (i == j) {
+              g(i, j) *= 0.0;  // the unfused mask's G_ii * 0.0
+            } else {
+              const double s = out.value(i, j);
+              g(i, j) *= s * (1.0 - s);
+            }
+          }
+        }
+        out.parents[0]->AccumulateGrad(g);
+      });
+}
+
+Variable LogSumExpOffDiag(const Variable& a) {
+  const Matrix& x = a.value();
+  GRADGCL_CHECK(x.rows() == x.cols());
+  const int64_t n = x.rows();
+  GRADGCL_CHECK_MSG(n >= 2, "LogSumExpOffDiag needs >= 2 rows");
+  Matrix out = Matrix::Uninitialized(x.rows(), 1);
+  const double* xdata = x.data();
+  double* odata = out.data();
+  // Row-local (hence thread-count-invariant), and the same j-ascending
+  // max/sum order as LogSumExpRows under the off-diagonal mask.
+  const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 15) / n);
+  ParallelFor(0, n, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* xrow = xdata + i * n;
+      double mx = -1e300;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j != i) mx = std::max(mx, xrow[j]);
+      }
+      double z = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j != i) z += std::exp(xrow[j] - mx);
+      }
+      odata[i] = mx + std::log(z);
+    }
+  });
+  return Variable::MakeOp(std::move(out), {a}, [](Node& out_node) {
+    if (!NeedsGrad(out_node.parents[0])) return;
+    const Matrix& x = out_node.parents[0]->value;
+    const Matrix& lse = out_node.value;  // n x 1
+    const Matrix& g = out_node.grad;     // n x 1
+    Matrix gx(x.rows(), x.cols(), 0.0);
+    for (int i = 0; i < x.rows(); ++i) {
+      for (int j = 0; j < x.cols(); ++j) {
+        if (j != i) gx(i, j) = g(i, 0) * std::exp(x(i, j) - lse(i, 0));
+      }
+    }
+    out_node.parents[0]->AccumulateGrad(gx);
   });
 }
 

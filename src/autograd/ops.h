@@ -106,6 +106,45 @@ Variable LogSumExpRows(const Variable& a, const Matrix& mask);
 // select >= 1 entry. (The attention kernel of GAT.)
 Variable MaskedRowSoftmax(const Variable& a, const Matrix& mask);
 
+// --- Fused kernels ----------------------------------------------------------
+// Forward/backward fusions of the GradGCL loss pipeline. Each produces
+// bit-identical values AND gradients to the unfused op composition it
+// replaces (the equivalence is exact, enforced by tests/pool_test.cc),
+// while building fewer tape nodes and touching fewer n x n temporaries.
+
+// a * b^T * scale in one pass (fuses MatMulTransB + ScalarMul).
+Variable MatMulTransBScaled(const Variable& a, const Variable& b, double scale);
+
+// The cosine Gram matrix of u at inverse temperature inv_tau:
+// rownormalize(u) * rownormalize(u)^T * inv_tau. If `normalized` is
+// non-null it receives the shared û node (needed again by the
+// positive/negative terms of the gradient features).
+Variable CosineGram(const Variable& u, double inv_tau,
+                    Variable* normalized = nullptr);
+
+// Row sums of the off-diagonal-masked exp(s): returns
+// Σ_j≠i exp(s_ij) as n x 1, without materialising a mask matrix. If
+// `exp_out` is non-null it receives the masked exp(s) node (the
+// numerator of the α coefficients). Fuses Exp + Hadamard(mask) +
+// SumRows.
+Variable MaskedExpRowSum(const Variable& s, Variable* exp_out = nullptr);
+
+// (diag(scale) a) * b * post in one pass — the α·û negative term.
+// Fuses ScaleRowsVar + MatMul + ScalarMul.
+Variable ScaleRowsMatMul(const Variable& a, const Variable& scale,
+                         const Variable& b, double post);
+
+// a * b * post (fuses MatMul + ScalarMul).
+Variable MatMulScaled(const Variable& a, const Variable& b, double post);
+
+// Elementwise sigmoid with the diagonal masked to 0 (fuses Sigmoid +
+// Hadamard(offdiag mask)).
+Variable OffDiagSigmoid(const Variable& a);
+
+// Row-wise log Σ_j≠i exp(a_ij) for square a — LogSumExpRows with the
+// implicit off-diagonal mask, no mask matrix.
+Variable LogSumExpOffDiag(const Variable& a);
+
 // --- Broadcasts ----------------------------------------------------------------
 
 // Adds a 1 x d row (e.g. a bias) to every row of a.

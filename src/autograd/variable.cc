@@ -52,6 +52,14 @@ bool Variable::requires_grad() const {
 
 void Variable::ZeroGrad() {
   GRADGCL_CHECK_MSG(defined(), "ZeroGrad on null Variable");
+  // In place when possible: parameters call this every step, and a
+  // fresh Zeros would heap-allocate per parameter per step.
+  if (node_->grad_initialized &&
+      node_->grad.rows() == node_->value.rows() &&
+      node_->grad.cols() == node_->value.cols()) {
+    node_->grad.Fill(0.0);
+    return;
+  }
   node_->grad = Matrix::Zeros(node_->value.rows(), node_->value.cols());
   node_->grad_initialized = true;
 }

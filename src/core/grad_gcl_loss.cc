@@ -21,13 +21,10 @@ Variable GradGclLoss::GradientLoss(const TwoViewBatch& views) const {
   // g_n = ∂ℓ/∂u_n and its mirrored counterpart g'_n = ∂ℓ/∂u'_n.
   Variable g = GradientFeatures(config_.loss, u, v, config_.tau);
   Variable g_prime = GradientFeatures(config_.loss, v, u, config_.tau);
-  if (config_.detach_features) {
-    // With detached inputs the composite is constant; contrast the raw
-    // features instead so ℓ_g still returns a defined value. The main
-    // configuration (detach_features = false) trains through g.
-    return InfoNce(g, g_prime, config_.tau);
-  }
-  // Eq. 19: InfoNCE on the gradient features.
+  // Eq. 19: InfoNCE on the gradient features. With detach_features the
+  // inputs above were detached, so the composite is constant and this
+  // contrasts the raw features; the main configuration
+  // (detach_features = false) trains through g.
   return InfoNce(g, g_prime, config_.tau);
 }
 

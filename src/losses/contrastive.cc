@@ -1,5 +1,7 @@
 #include "losses/contrastive.h"
 
+#include "tensor/pool.h"
+
 namespace gradgcl {
 
 namespace {
@@ -12,11 +14,19 @@ Matrix OffDiagonalMask(int n) {
 }
 
 // One direction of InfoNce: anchors `a` against candidates `b`
-// (positives on the diagonal, negatives off-diagonal).
+// (positives on the diagonal, negatives off-diagonal). The fused path
+// (default) collapses the Gram/scale and masked log-sum-exp chains;
+// both paths are bit-identical.
 Variable InfoNceDirected(const Variable& a, const Variable& b, double tau) {
   const int n = a.rows();
   Variable an = ag::RowNormalize(a);
   Variable bn = ag::RowNormalize(b);
+  if (FusedKernelsEnabled()) {
+    Variable sim = ag::MatMulTransBScaled(an, bn, 1.0 / tau);
+    Variable pos = ag::ScalarMul(ag::RowPairDot(an, bn), 1.0 / tau);
+    Variable denom = ag::LogSumExpOffDiag(sim);                     // n x 1
+    return ag::Mean(ag::Sub(denom, pos));
+  }
   Variable sim = ag::ScalarMul(ag::MatMulTransB(an, bn), 1.0 / tau);
   Variable pos = ag::ScalarMul(ag::RowPairDot(an, bn), 1.0 / tau);  // n x 1
   Variable denom = ag::LogSumExpRows(sim, OffDiagonalMask(n));      // n x 1

@@ -3,24 +3,127 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
+
+#include "tensor/pool.h"
 
 namespace gradgcl {
 
-Matrix::Matrix(int rows, int cols, double fill) : rows_(rows), cols_(cols) {
+void Matrix::Allocate(int rows, int cols) {
   GRADGCL_CHECK(rows >= 0 && cols >= 0);
-  data_.assign(static_cast<size_t>(rows) * cols, fill);
+  rows_ = rows;
+  cols_ = cols;
+  const size_t n = static_cast<size_t>(rows) * cols;
+  if (n == 0) {
+    data_ = nullptr;
+    capacity_ = 0;
+    pooled_ = false;
+    return;
+  }
+  if (TapeScope::Active() && PoolingEnabled()) {
+    data_ = MatrixPool::Instance().Acquire(n, &capacity_);
+    pooled_ = true;
+  } else {
+    data_ = MatrixPool::HeapAlloc(n);
+    capacity_ = n;
+    pooled_ = false;
+  }
+}
+
+void Matrix::Free() noexcept {
+  if (data_ != nullptr) {
+    if (pooled_) {
+      MatrixPool::Instance().Release(data_, capacity_);
+    } else {
+      MatrixPool::HeapFree(data_);
+    }
+  }
+  rows_ = 0;
+  cols_ = 0;
+  data_ = nullptr;
+  capacity_ = 0;
+  pooled_ = false;
+}
+
+Matrix::Matrix(int rows, int cols, double fill) {
+  Allocate(rows, cols);
+  Fill(fill);
 }
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
-  rows_ = static_cast<int>(rows.size());
-  cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
-  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  const int r = static_cast<int>(rows.size());
+  const int c = r > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  Allocate(r, c);
+  double* dst = data_;
   for (const auto& row : rows) {
     GRADGCL_CHECK_MSG(static_cast<int>(row.size()) == cols_,
                       "ragged initializer list");
-    data_.insert(data_.end(), row.begin(), row.end());
+    dst = std::copy(row.begin(), row.end(), dst);
   }
+}
+
+Matrix::Matrix(const Matrix& other) {
+  Allocate(other.rows_, other.cols_);
+  if (other.data_ != nullptr) {
+    std::memcpy(data_, other.data_, sizeof(double) * size());
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  const size_t n = static_cast<size_t>(other.rows_) * other.cols_;
+  // Reuse the existing buffer when it is big enough: assignment into a
+  // warm Matrix then costs a copy, not an allocation.
+  if (n > 0 && capacity_ >= n) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    std::memcpy(data_, other.data_, sizeof(double) * n);
+    return *this;
+  }
+  Free();
+  Allocate(other.rows_, other.cols_);
+  if (other.data_ != nullptr) {
+    std::memcpy(data_, other.data_, sizeof(double) * n);
+  }
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      data_(other.data_),
+      capacity_(other.capacity_),
+      pooled_(other.pooled_) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+  other.capacity_ = 0;
+  other.pooled_ = false;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  Free();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  capacity_ = other.capacity_;
+  pooled_ = other.pooled_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+  other.capacity_ = 0;
+  other.pooled_ = false;
+  return *this;
+}
+
+Matrix::~Matrix() { Free(); }
+
+Matrix Matrix::Uninitialized(int rows, int cols) {
+  Matrix m;
+  m.Allocate(rows, cols);
+  return m;
 }
 
 Matrix Matrix::Identity(int n) {
@@ -53,19 +156,19 @@ Matrix Matrix::GlorotUniform(int rows, int cols, Rng& rng) {
 }
 
 Matrix Matrix::ColumnVector(const std::vector<double>& values) {
-  Matrix m(static_cast<int>(values.size()), 1);
+  Matrix m = Uninitialized(static_cast<int>(values.size()), 1);
   std::copy(values.begin(), values.end(), m.data());
   return m;
 }
 
 Matrix Matrix::RowVector(const std::vector<double>& values) {
-  Matrix m(1, static_cast<int>(values.size()));
+  Matrix m = Uninitialized(1, static_cast<int>(values.size()));
   std::copy(values.begin(), values.end(), m.data());
   return m;
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix t(cols_, rows_);
+  Matrix t = Uninitialized(cols_, rows_);
   for (int i = 0; i < rows_; ++i) {
     for (int j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
   }
@@ -74,15 +177,15 @@ Matrix Matrix::Transposed() const {
 
 Matrix Matrix::Row(int i) const {
   GRADGCL_CHECK(i >= 0 && i < rows_);
-  Matrix r(1, cols_);
-  std::copy(data_.begin() + static_cast<size_t>(i) * cols_,
-            data_.begin() + static_cast<size_t>(i + 1) * cols_, r.data());
+  Matrix r = Uninitialized(1, cols_);
+  std::copy(data_ + static_cast<size_t>(i) * cols_,
+            data_ + static_cast<size_t>(i + 1) * cols_, r.data());
   return r;
 }
 
 Matrix Matrix::Col(int j) const {
   GRADGCL_CHECK(j >= 0 && j < cols_);
-  Matrix c(rows_, 1);
+  Matrix c = Uninitialized(rows_, 1);
   for (int i = 0; i < rows_; ++i) c(i, 0) = (*this)(i, j);
   return c;
 }
@@ -91,24 +194,24 @@ void Matrix::SetRow(int i, const Matrix& row) {
   GRADGCL_CHECK(i >= 0 && i < rows_);
   GRADGCL_CHECK(row.rows() == 1 && row.cols() == cols_);
   std::copy(row.data(), row.data() + cols_,
-            data_.begin() + static_cast<size_t>(i) * cols_);
+            data_ + static_cast<size_t>(i) * cols_);
 }
 
 Matrix Matrix::RowSlice(int begin, int end) const {
   GRADGCL_CHECK(begin >= 0 && begin <= end && end <= rows_);
-  Matrix out(end - begin, cols_);
-  std::copy(data_.begin() + static_cast<size_t>(begin) * cols_,
-            data_.begin() + static_cast<size_t>(end) * cols_, out.data());
+  Matrix out = Uninitialized(end - begin, cols_);
+  std::copy(data_ + static_cast<size_t>(begin) * cols_,
+            data_ + static_cast<size_t>(end) * cols_, out.data());
   return out;
 }
 
 Matrix Matrix::Gather(const std::vector<int>& indices) const {
-  Matrix out(static_cast<int>(indices.size()), cols_);
+  Matrix out = Uninitialized(static_cast<int>(indices.size()), cols_);
   for (int i = 0; i < out.rows(); ++i) {
     const int src = indices[i];
     GRADGCL_CHECK(src >= 0 && src < rows_);
-    std::copy(data_.begin() + static_cast<size_t>(src) * cols_,
-              data_.begin() + static_cast<size_t>(src + 1) * cols_,
+    std::copy(data_ + static_cast<size_t>(src) * cols_,
+              data_ + static_cast<size_t>(src + 1) * cols_,
               out.data() + static_cast<size_t>(i) * cols_);
   }
   return out;
@@ -133,21 +236,23 @@ Matrix& Matrix::operator-=(const Matrix& other) {
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  for (int i = 0; i < size(); ++i) data_[i] *= s;
   return *this;
 }
 
-void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+void Matrix::Fill(double value) {
+  std::fill(data_, data_ + size(), value);
+}
 
 double Matrix::FrobeniusNorm() const {
   double sum = 0.0;
-  for (double v : data_) sum += v * v;
+  for (int i = 0; i < size(); ++i) sum += data_[i] * data_[i];
   return std::sqrt(sum);
 }
 
 double Matrix::Sum() const {
   double sum = 0.0;
-  for (double v : data_) sum += v;
+  for (int i = 0; i < size(); ++i) sum += data_[i];
   return sum;
 }
 
@@ -158,17 +263,17 @@ double Matrix::Mean() const {
 
 double Matrix::Min() const {
   GRADGCL_CHECK(size() > 0);
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data_, data_ + size());
 }
 
 double Matrix::Max() const {
   GRADGCL_CHECK(size() > 0);
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data_, data_ + size());
 }
 
 bool Matrix::AllFinite() const {
-  for (double v : data_) {
-    if (!std::isfinite(v)) return false;
+  for (int i = 0; i < size(); ++i) {
+    if (!std::isfinite(data_[i])) return false;
   }
   return true;
 }

@@ -4,8 +4,14 @@
 // Design notes:
 //  * A Matrix with one of its dimensions equal to 1 doubles as a row or
 //    column vector; there is no separate Vector type.
-//  * Storage is a contiguous std::vector<double>; element (i, j) lives
-//    at data()[i * cols() + j].
+//  * Storage is a contiguous owned buffer; element (i, j) lives at
+//    data()[i * cols() + j]. Buffers allocated while a TapeScope is
+//    active (tensor/pool.h) are recycled through the process-wide
+//    MatrixPool instead of hitting the heap; they return to the pool
+//    when the Matrix is destroyed.
+//  * Uninitialized(rows, cols) skips the zero fill for buffers that are
+//    fully overwritten anyway (transpose, gather, matmul outputs) —
+//    the default (rows, cols, fill) constructor still fills.
 //  * Shapes are validated with GRADGCL_CHECK; mismatches abort rather
 //    than throw (see common/check.h).
 
@@ -34,12 +40,18 @@ class Matrix {
   // the same length. Example: Matrix m{{1, 2}, {3, 4}};
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
-  Matrix(Matrix&&) = default;
-  Matrix& operator=(Matrix&&) = default;
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   // --- Factory functions -------------------------------------------------
+
+  // A rows x cols matrix with UNINITIALIZED contents (pool-backed
+  // inside a TapeScope). Only for buffers every element of which is
+  // about to be overwritten.
+  static Matrix Uninitialized(int rows, int cols);
 
   // Identity matrix of size n x n.
   static Matrix Identity(int n);
@@ -85,8 +97,8 @@ class Matrix {
   }
 
   // Unchecked flat access for hot loops.
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  double* data() { return data_; }
+  const double* data() const { return data_; }
   double& at_flat(int idx) { return data_[idx]; }
   double at_flat(int idx) const { return data_[idx]; }
 
@@ -138,9 +150,17 @@ class Matrix {
   std::string ToString(int max_rows = 8, int max_cols = 8) const;
 
  private:
+  // Takes ownership of an uninitialized buffer for rows x cols
+  // (pooled when a TapeScope is active on this thread).
+  void Allocate(int rows, int cols);
+  // Returns the buffer to the pool / heap and resets to empty.
+  void Free() noexcept;
+
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  double* data_ = nullptr;
+  size_t capacity_ = 0;  // doubles the buffer can hold (>= size())
+  bool pooled_ = false;  // buffer came from (and returns to) the pool
 };
 
 // Equality within absolute tolerance `tol` (shape must match exactly).

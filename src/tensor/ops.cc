@@ -27,15 +27,17 @@ int64_t RowGrain(int64_t work_per_row) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  Matrix out(a.rows(), b.cols(), 0.0);
+  Matrix out = Matrix::Uninitialized(a.rows(), b.cols());
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
   // Row-parallel, k-blocked ikj: each chunk owns a strip of output
   // rows; a k-block of b stays cache-hot while the strip streams over
   // it. Per output element the accumulation order is kk ascending for
-  // any blocking/thread count, so results are bit-identical.
+  // any blocking/thread count, so results are bit-identical. Each
+  // chunk zeroes its own strip, so the output can start uninitialized.
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
+    std::fill(odata + r0 * m, odata + r1 * m, 0.0);
     for (int64_t kb = 0; kb < k; kb += kKBlock) {
       const int64_t kend = std::min(k, kb + kKBlock);
       for (int64_t i = r0; i < r1; ++i) {
@@ -56,15 +58,17 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA shape mismatch");
   const int64_t n = a.cols(), k = a.rows(), m = b.cols();
-  Matrix out(a.cols(), b.cols(), 0.0);
+  Matrix out = Matrix::Uninitialized(a.cols(), b.cols());
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
   // Each chunk owns a fixed-order strip of output rows (a column strip
-  // of a) and accumulates over kk ascending — never splitting a sum
-  // across chunks — so the reduction order is thread-count-invariant.
-  // k-blocking keeps the strip's output rows hot across the block.
+  // of a), zeroes it, and accumulates over kk ascending — never
+  // splitting a sum across chunks — so the reduction order is
+  // thread-count-invariant. k-blocking keeps the strip's output rows
+  // hot across the block.
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
+    std::fill(odata + i0 * m, odata + i1 * m, 0.0);
     for (int64_t kb = 0; kb < k; kb += kKBlock) {
       const int64_t kend = std::min(k, kb + kKBlock);
       for (int64_t i = i0; i < i1; ++i) {
@@ -84,7 +88,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB shape mismatch");
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  Matrix out(a.rows(), b.rows());
+  Matrix out = Matrix::Uninitialized(a.rows(), b.rows());
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
@@ -108,9 +112,120 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+Matrix MatMulTransBScaled(const Matrix& a, const Matrix& b, double scale) {
+  GRADGCL_CHECK_MSG(a.cols() == b.cols(), "MatMulTransBScaled shape mismatch");
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix out = Matrix::Uninitialized(a.rows(), b.rows());
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  // Same loop as MatMulTransB; each dot product completes before the
+  // scale is applied, so the bits match ScalarMul(MatMulTransB(a, b)).
+  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
+    for (int64_t jb = 0; jb < m; jb += kKBlock) {
+      const int64_t jend = std::min(m, jb + kKBlock);
+      for (int64_t i = r0; i < r1; ++i) {
+        const double* arow = adata + i * k;
+        double* orow = odata + i * m;
+        for (int64_t j = jb; j < jend; ++j) {
+          const double* brow = bdata + j * k;
+          double dot = 0.0;
+          for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+          orow[j] = dot * scale;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+void MaskedExpRowSum(const Matrix& s, Matrix* exp_out, Matrix* rowsum_out) {
+  GRADGCL_CHECK(s.rows() == s.cols());
+  GRADGCL_CHECK(exp_out != nullptr && rowsum_out != nullptr);
+  const int64_t n = s.rows();
+  Matrix e = Matrix::Uninitialized(s.rows(), s.cols());
+  Matrix rs = Matrix::Uninitialized(s.rows(), 1);
+  const double* sdata = s.data();
+  double* edata = e.data();
+  double* rdata = rs.data();
+  // The unfused path stores exp(s_ii) * 0.0 == +0.0 on the diagonal and
+  // its RowSum adds that zero in place; summing the stored row in the
+  // same j-ascending order reproduces those bits exactly.
+  ParallelFor(0, n, RowGrain(n), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* srow = sdata + i * n;
+      double* erow = edata + i * n;
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double v = j == i ? 0.0 : std::exp(srow[j]);
+        erow[j] = v;
+        sum += v;
+      }
+      rdata[i] = sum;
+    }
+  });
+  *exp_out = std::move(e);
+  *rowsum_out = std::move(rs);
+}
+
+Matrix ScaleRowsMatMulScaled(const Matrix& a, const Matrix& row_scale,
+                             const Matrix& b, double post) {
+  GRADGCL_CHECK(row_scale.rows() == a.rows() && row_scale.cols() == 1);
+  GRADGCL_CHECK_MSG(a.cols() == b.rows(), "ScaleRowsMatMulScaled mismatch");
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix out = Matrix::Uninitialized(a.rows(), b.cols());
+  const double* adata = a.data();
+  const double* sdata = row_scale.data();
+  const double* bdata = b.data();
+  double* odata = out.data();
+  // MatMul's k-blocked ikj loop with the row scale folded into av (the
+  // product a(i, kk) * s_i is rounded first, exactly like the stored
+  // ScaleRows intermediate) and the post scale applied once per output
+  // element after its accumulation completes — both bit-identical to
+  // ScalarMul(MatMul(ScaleRows(a, row_scale), b), post).
+  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
+    std::fill(odata + r0 * m, odata + r1 * m, 0.0);
+    for (int64_t kb = 0; kb < k; kb += kKBlock) {
+      const int64_t kend = std::min(k, kb + kKBlock);
+      for (int64_t i = r0; i < r1; ++i) {
+        const double* arow = adata + i * k;
+        const double si = sdata[i];
+        double* orow = odata + i * m;
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const double av = arow[kk] * si;
+          if (av == 0.0) continue;
+          const double* brow = bdata + kk * m;
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+    for (int64_t idx = r0 * m; idx < r1 * m; ++idx) odata[idx] *= post;
+  });
+  return out;
+}
+
+Matrix OffDiagSigmoid(const Matrix& s) {
+  GRADGCL_CHECK(s.rows() == s.cols());
+  const int64_t n = s.rows();
+  Matrix out = Matrix::Uninitialized(s.rows(), s.cols());
+  const double* sdata = s.data();
+  double* odata = out.data();
+  // sigmoid(s_ii) * 0.0 == +0.0 in the unfused mask path.
+  ParallelFor(0, n, RowGrain(n), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* srow = sdata + i * n;
+      double* orow = odata + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] = j == i ? 0.0 : 1.0 / (1.0 + std::exp(-srow[j]));
+      }
+    }
+  });
+  return out;
+}
+
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  Matrix out(a.rows(), a.cols());
+  Matrix out = Matrix::Uninitialized(a.rows(), a.cols());
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
@@ -175,7 +290,7 @@ Matrix Relu(const Matrix& a) {
 
 Matrix RowSum(const Matrix& a) {
   const int64_t cols = a.cols();
-  Matrix out(a.rows(), 1, 0.0);
+  Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -199,7 +314,7 @@ Matrix RowMean(const Matrix& a) {
 Matrix RowMax(const Matrix& a) {
   GRADGCL_CHECK(a.cols() > 0);
   const int64_t cols = a.cols();
-  Matrix out(a.rows(), 1);
+  Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -230,7 +345,7 @@ Matrix ColMean(const Matrix& a) {
 
 Matrix RowNorms(const Matrix& a) {
   const int64_t cols = a.cols();
-  Matrix out(a.rows(), 1);
+  Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -265,7 +380,7 @@ Matrix RowNormalize(const Matrix& a, double eps) {
 Matrix RowSoftmax(const Matrix& a) {
   GRADGCL_CHECK(a.cols() > 0);
   const int64_t cols = a.cols();
-  Matrix out(a.rows(), a.cols());
+  Matrix out = Matrix::Uninitialized(a.rows(), a.cols());
   const double* adata = a.data();
   double* odata = out.data();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -298,7 +413,7 @@ Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b) {
   const Matrix a2 = RowNorms(a);
   const Matrix b2 = RowNorms(b);
   const int64_t m = b.rows();
-  Matrix out(a.rows(), b.rows());
+  Matrix out = Matrix::Uninitialized(a.rows(), b.rows());
   const double* ddata = dots.data();
   double* odata = out.data();
   ParallelFor(0, a.rows(), RowGrain(m), [&](int64_t r0, int64_t r1) {
@@ -348,7 +463,7 @@ Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
 
 Matrix VStack(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK(a.cols() == b.cols());
-  Matrix out(a.rows() + b.rows(), a.cols());
+  Matrix out = Matrix::Uninitialized(a.rows() + b.rows(), a.cols());
   std::copy(a.data(), a.data() + a.size(), out.data());
   std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
   return out;
@@ -356,7 +471,7 @@ Matrix VStack(const Matrix& a, const Matrix& b) {
 
 Matrix HStack(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK(a.rows() == b.rows());
-  Matrix out(a.rows(), a.cols() + b.cols());
+  Matrix out = Matrix::Uninitialized(a.rows(), a.cols() + b.cols());
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < a.cols(); ++j) out(i, j) = a(i, j);
     for (int j = 0; j < b.cols(); ++j) out(i, a.cols() + j) = b(i, j);

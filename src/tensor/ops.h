@@ -25,6 +25,32 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 // Elementwise (Hadamard) product.
 Matrix Hadamard(const Matrix& a, const Matrix& b);
 
+// --- Fused kernels ----------------------------------------------------------
+// Each computes the same bits as its unfused composition (same
+// per-element accumulation order, same rounding sequence) while
+// touching memory once; autograd/ops.h builds the matching fused tape
+// nodes on top. See DESIGN.md "Memory model".
+
+// a * b^T * scale — fuses MatMulTransB with the trailing scalar scale
+// (the 1/τ of the similarity Gram matrix).
+Matrix MatMulTransBScaled(const Matrix& a, const Matrix& b, double scale);
+
+// One sweep over a square matrix s: *exp_out gets exp(s) with the
+// diagonal forced to 0.0 (the off-diagonal mask, without materialising
+// a mask matrix), *rowsum_out its n x 1 row sums — bit-identical to
+// RowSum(Hadamard(Exp(s), offdiag_mask)).
+void MaskedExpRowSum(const Matrix& s, Matrix* exp_out, Matrix* rowsum_out);
+
+// (diag(row_scale) a) * b * post without materialising the scaled-rows
+// intermediate — the α·û negative term of the InfoNCE gradient
+// features. row_scale is rows(a) x 1.
+Matrix ScaleRowsMatMulScaled(const Matrix& a, const Matrix& row_scale,
+                             const Matrix& b, double post);
+
+// Elementwise logistic sigmoid of a square matrix with the diagonal
+// forced to 0.0 — bit-identical to Hadamard(sigmoid(s), offdiag_mask).
+Matrix OffDiagSigmoid(const Matrix& s);
+
 // --- Elementwise arithmetic -------------------------------------------------
 
 Matrix operator+(const Matrix& a, const Matrix& b);
@@ -42,7 +68,7 @@ inline constexpr int64_t kElementwiseGrain = 1 << 14;
 // because fn is applied independently per element.
 template <typename Fn>
 Matrix Map(const Matrix& a, Fn&& fn) {
-  Matrix out(a.rows(), a.cols());
+  Matrix out = Matrix::Uninitialized(a.rows(), a.cols());
   const double* src = a.data();
   double* dst = out.data();
   ParallelFor(0, a.size(), kElementwiseGrain,

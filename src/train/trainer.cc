@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "common/stopwatch.h"
+#include "tensor/pool.h"
 
 namespace gradgcl {
 
@@ -40,6 +41,11 @@ std::vector<EpochStats> TrainGraphSsl(
     int steps = 0;
     for (const std::vector<int>& batch : MakeMiniBatches(
              static_cast<int>(dataset.size()), options.batch_size, rng)) {
+      // Step-scoped pooling: every Matrix the forward/backward pass
+      // allocates inside this scope recycles through the MatrixPool.
+      // Parameters and optimizer state were created outside any scope
+      // and stay heap-backed (tensor/pool.h).
+      TapeScope tape;
       optimizer.ZeroGrad();
       Variable loss = model.BatchLoss(dataset, batch, rng);
       Backward(loss);
@@ -72,14 +78,17 @@ std::vector<EpochStats> TrainNodeSsl(
     optimizer.set_lr(
         ScheduledLr(options.schedule, options.lr, epoch, options.epochs));
     Stopwatch watch;
-    optimizer.ZeroGrad();
-    Variable loss = model.EpochLoss(dataset, rng);
-    Backward(loss);
-    optimizer.Step();
-    model.PostStep();
     EpochStats stats;
+    {
+      TapeScope tape;  // step-scoped pooling, as in TrainGraphSsl
+      optimizer.ZeroGrad();
+      Variable loss = model.EpochLoss(dataset, rng);
+      Backward(loss);
+      optimizer.Step();
+      model.PostStep();
+      stats.loss = loss.scalar();
+    }
     stats.epoch = epoch;
-    stats.loss = loss.scalar();
     stats.seconds = watch.ElapsedSeconds();
     if (on_epoch) on_epoch(stats);
     history.push_back(stats);
