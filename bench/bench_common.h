@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/parallel.h"
 #include "datasets/molecule_universe.h"
 #include "datasets/node_synthetic.h"
@@ -28,8 +29,19 @@
 #include "models/mvgrl.h"
 #include "models/sgcl.h"
 #include "models/simgrace.h"
+#include "obs/collapse.h"
+#include "obs/trace.h"
 
 namespace gradgcl::bench {
+
+// Flushes the observability outputs of a bench run: writes the Chrome
+// trace when GRADGCL_TRACE is configured and closes the JSONL metrics
+// stream (GRADGCL_METRICS) so every record is on disk when the bench
+// returns. Call once at the end of main; harmless when obs is off.
+inline void FinishObservability() {
+  obs::WriteTrace();
+  obs::CollapseMonitor::Instance().CloseStream();
+}
 
 // Evaluates cells[i] = fn(i) for i in [0, n) on the thread pool and
 // returns them in order. Every table/figure cell owns explicit seeds,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "common/json.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/gradient_features.h"
@@ -282,11 +283,11 @@ void WriteKernelScalingReport(const char* path) {
                 cases[c].name.c_str(), seconds[0], seconds[1], seconds[2], x2,
                 x4, bit_identical ? "yes" : "NO");
     std::fprintf(json,
-                 "    {\"name\": \"%s\", \"seconds\": [%.9f, %.9f, %.9f], "
+                 "    {\"name\": %s, \"seconds\": [%.9f, %.9f, %.9f], "
                  "\"speedup_vs_1t\": [1.0, %.4f, %.4f], "
                  "\"bit_identical\": %s}%s\n",
-                 cases[c].name.c_str(), seconds[0], seconds[1], seconds[2],
-                 x2, x4, bit_identical ? "true" : "false",
+                 JsonString(cases[c].name).c_str(), seconds[0], seconds[1],
+                 seconds[2], x2, x4, bit_identical ? "true" : "false",
                  c + 1 < cases.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -96,6 +96,9 @@ int main() {
       const bool is_fg = weight != 0.0 && weight != 1.0;
       const std::string method =
           BackboneName(backbone) + VariantSuffix(weight);
+      // One trace span per table row (labels interned outside the hot
+      // loop; see obs/trace.h).
+      obs::TraceScope row_span(obs::InternName("table4/" + method));
       // Dataset cells of the row run in parallel on the pool; every
       // cell owns explicit seeds, so the grid is order-independent. A
       // count of 0 marks a skipped cell ("-").
@@ -146,5 +149,6 @@ int main() {
               "cells.\nPaper shape: (f+g) improves the backbone on most "
               "cells; (g) alone is competitive with the raw models.\n",
               fg_wins, fg_cells);
+  FinishObservability();
   return 0;
 }

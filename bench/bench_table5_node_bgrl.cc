@@ -103,6 +103,7 @@ int main() {
 
   std::vector<std::vector<double>> scores(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
+    obs::TraceScope row_span(obs::InternName("table5/" + rows[r].label));
     scores[r] = ParallelGrid<double>(num_datasets, [&](int d) {
       const NodeDataset& data = datasets[d];
       Rng rng(21);
@@ -140,5 +141,6 @@ int main() {
               ">= SGCL on %d/%zu.\nPaper shape: (f+g) improves the "
               "bootstrapped models on most datasets by small margins.\n",
               bgrl_wins, datasets.size(), sgcl_wins, datasets.size());
+  FinishObservability();
   return 0;
 }

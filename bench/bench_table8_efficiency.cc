@@ -92,6 +92,7 @@ struct AllocLeg {
 constexpr int kTimedEpochs = 3;
 
 AllocLeg RunAllocLeg(bool pooled, bool fused) {
+  obs::TraceScope leg_span(pooled ? "alloc_leg/pooled" : "alloc_leg/heap");
   SetPoolingEnabled(pooled);
   SetFusedKernelsEnabled(fused);
   const std::vector<Graph>& data = DatasetFor("PROTEINS");
@@ -172,16 +173,18 @@ void WriteAllocReport(const char* path) {
     return;
   }
   std::fprintf(json, "{\n  \"bench\": \"alloc\",\n");
-  std::fprintf(json, "  \"workload\": \"GraphCL(f+g) PROTEINS batch=64\",\n");
+  std::fprintf(json, "  \"workload\": %s,\n",
+               JsonString("GraphCL(f+g) PROTEINS batch=64").c_str());
   std::fprintf(json, "  \"timed_epochs\": %d,\n", kTimedEpochs);
   const auto leg_json = [json](const char* name, const AllocLeg& leg) {
     std::fprintf(json,
-                 "  \"%s\": {\"steps_per_sec\": %.3f, "
+                 "  %s: {\"steps_per_sec\": %.3f, "
                  "\"heap_allocs_per_step\": %.2f, "
                  "\"heap_kb_per_step\": %.2f, "
                  "\"pool_hits_per_step\": %.2f},\n",
-                 name, leg.steps_per_sec, leg.heap_allocs_per_step,
-                 leg.heap_kb_per_step, leg.pool_hits_per_step);
+                 JsonString(name).c_str(), leg.steps_per_sec,
+                 leg.heap_allocs_per_step, leg.heap_kb_per_step,
+                 leg.pool_hits_per_step);
   };
   leg_json("before", baseline);
   leg_json("after", optimized);
@@ -219,6 +222,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteAllocReport("BENCH_alloc.json");
+  gradgcl::bench::FinishObservability();
   std::printf(
       "\nTable VIII reading: compare each backbone's (f+g) row against "
       "its raw row — the gradient loss should add a single-digit "

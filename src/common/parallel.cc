@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gradgcl {
 
@@ -226,6 +228,12 @@ bool ShouldParallelize(int64_t range, int64_t grain) {
 
 void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
                      const std::function<void(int64_t, int64_t)>& fn) {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* regions = new obs::Counter(
+        obs::MetricsRegistry::Instance().GetCounter("parallel/regions"));
+    regions->Add(1);
+  }
+  obs::TraceScope span("parallel/region");
   ThreadPool::Instance().Run(begin, end, grain, fn);
 }
 

@@ -1,5 +1,7 @@
 #include "core/grad_gcl_loss.h"
 
+#include "obs/collapse.h"
+
 namespace gradgcl {
 
 GradGclLoss::GradGclLoss(const GradGclConfig& config) : config_(config) {
@@ -29,11 +31,32 @@ Variable GradGclLoss::GradientLoss(const TwoViewBatch& views) const {
 }
 
 Variable GradGclLoss::operator()(const TwoViewBatch& views) const {
+  // Observability taps (obs/collapse.h): on a sampled step, hand the
+  // monitor read-only copies of the two-view projections and the
+  // ℓ_f / ℓ_g split the composite loss is already computing. Strictly
+  // passive — no extra tape nodes, no effect on the loss graph.
+  obs::CollapseMonitor& monitor = obs::CollapseMonitor::Instance();
+  const bool staged = monitor.StageActive();
+  if (staged) {
+    monitor.RecordRepresentations(views.u.value(), views.u_prime.value());
+  }
   const double a = config_.weight;
-  if (a == 0.0) return RepresentationLoss(views);
-  if (a == 1.0) return GradientLoss(views);
-  return ag::Add(ag::ScalarMul(RepresentationLoss(views), 1.0 - a),
-                 ag::ScalarMul(GradientLoss(views), a));
+  if (a == 0.0) {
+    Variable lf = RepresentationLoss(views);
+    if (staged) monitor.RecordLossSplit(lf.scalar(), true, 0.0, false);
+    return lf;
+  }
+  if (a == 1.0) {
+    Variable lg = GradientLoss(views);
+    if (staged) monitor.RecordLossSplit(0.0, false, lg.scalar(), true);
+    return lg;
+  }
+  Variable lf = RepresentationLoss(views);
+  Variable lg = GradientLoss(views);
+  if (staged) {
+    monitor.RecordLossSplit(lf.scalar(), true, lg.scalar(), true);
+  }
+  return ag::Add(ag::ScalarMul(lf, 1.0 - a), ag::ScalarMul(lg, a));
 }
 
 }  // namespace gradgcl

@@ -1,0 +1,295 @@
+#include "obs/collapse.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/parallel.h"
+#include "eval/spectrum.h"
+#include "losses/metrics.h"
+#include "obs/metrics.h"
+#include "tensor/pool.h"
+
+namespace gradgcl::obs {
+
+namespace {
+
+int EnvEvery() {
+  const char* v = std::getenv("GRADGCL_OBS_EVERY");
+  if (v != nullptr) {
+    const int parsed = std::atoi(v);
+    if (parsed >= 1) return parsed;
+  }
+  return 10;
+}
+
+struct StreamState {
+  std::mutex mu;
+  std::string path;
+  std::FILE* file = nullptr;
+  bool truncate_on_open = true;  // fresh stream per configured path
+};
+
+StreamState& GlobalStream() {
+  static StreamState* state = new StreamState;  // leaked on purpose
+  return *state;
+}
+
+std::atomic<bool> g_stream_configured{false};
+std::atomic<int> g_every{0};  // 0 = not yet initialised from env
+
+// Thread-local staging of one sampled step. Matrices copied here while
+// the trainer's TapeScope is open recycle through the MatrixPool like
+// any other step-scoped buffer.
+struct Stage {
+  bool active = false;
+  StepContext ctx;
+  bool has_f = false, has_g = false, has_views = false;
+  double loss_f = 0.0, loss_g = 0.0;
+  Matrix u, v;
+  PoolStats pool_entry;
+};
+
+Stage& LocalStage() {
+  thread_local Stage stage;
+  return stage;
+}
+
+// Registry handles, registered once.
+struct StepMetrics {
+  Counter steps;
+  Counter records;
+  Gauge loss, loss_f, loss_g, grad_norm;
+  Gauge effective_rank, alignment, uniformity;
+  Histogram step_ms;
+
+  StepMetrics() {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    steps = reg.GetCounter("train/steps");
+    records = reg.GetCounter("obs/records");
+    loss = reg.GetGauge("train/loss");
+    loss_f = reg.GetGauge("train/loss_f");
+    loss_g = reg.GetGauge("train/loss_g");
+    grad_norm = reg.GetGauge("train/grad_norm");
+    effective_rank = reg.GetGauge("obs/effective_rank");
+    alignment = reg.GetGauge("obs/alignment");
+    uniformity = reg.GetGauge("obs/uniformity");
+    step_ms = reg.GetHistogram(
+        "train/step_ms",
+        {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  }
+};
+
+StepMetrics& Metrics() {
+  static StepMetrics* metrics = new StepMetrics;  // leaked
+  return *metrics;
+}
+
+void AppendNumber(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void AppendInteger(std::string& out, const char* key, long long value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+}  // namespace
+
+CollapseReport AnalyzeCollapse(const Matrix& u, const Matrix& u_prime) {
+  GRADGCL_CHECK(u.rows() == u_prime.rows() && u.cols() == u_prime.cols());
+  CollapseReport report;
+  const SpectrumReport spectrum = AnalyzeSpectrum(u);
+  report.effective_rank = spectrum.effective_rank;
+  report.surviving_dims = spectrum.surviving_dims;
+  report.top_k =
+      std::min<int>(8, static_cast<int>(spectrum.singular_values.size()));
+  double total = 0.0, top = 0.0;
+  for (size_t i = 0; i < spectrum.singular_values.size(); ++i) {
+    total += spectrum.singular_values[i];
+    if (static_cast<int>(i) < report.top_k) top += spectrum.singular_values[i];
+  }
+  report.top_k_mass = total > 0.0 ? top / total : 0.0;
+  report.alignment = AlignmentMetric(u, u_prime);
+  report.uniformity = UniformityMetric(u);
+  return report;
+}
+
+CollapseMonitor& CollapseMonitor::Instance() {
+  static CollapseMonitor* monitor = [] {
+    // One-time env pickup: GRADGCL_METRICS names the JSONL path.
+    const char* path = std::getenv("GRADGCL_METRICS");
+    if (path != nullptr && path[0] != '\0') {
+      StreamState& stream = GlobalStream();
+      std::lock_guard<std::mutex> lock(stream.mu);
+      stream.path = path;
+      g_stream_configured.store(true, std::memory_order_relaxed);
+    }
+    return new CollapseMonitor;  // leaked
+  }();
+  return *monitor;
+}
+
+bool CollapseMonitor::enabled() const {
+  return g_stream_configured.load(std::memory_order_relaxed) &&
+         MetricsEnabled();
+}
+
+int CollapseMonitor::every() const {
+  int n = g_every.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = EnvEvery();
+    g_every.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void CollapseMonitor::set_every(int n) {
+  GRADGCL_CHECK(n >= 1);
+  g_every.store(n, std::memory_order_relaxed);
+}
+
+void CollapseMonitor::SetStreamPath(const std::string& path) {
+  StreamState& stream = GlobalStream();
+  std::lock_guard<std::mutex> lock(stream.mu);
+  if (stream.file != nullptr) {
+    std::fclose(stream.file);
+    stream.file = nullptr;
+  }
+  stream.path = path;
+  stream.truncate_on_open = true;
+  g_stream_configured.store(!path.empty(), std::memory_order_relaxed);
+  SetMetricsEnabled(!path.empty());
+}
+
+void CollapseMonitor::CloseStream() {
+  StreamState& stream = GlobalStream();
+  std::lock_guard<std::mutex> lock(stream.mu);
+  if (stream.file != nullptr) {
+    std::fclose(stream.file);
+    stream.file = nullptr;
+  }
+}
+
+bool CollapseMonitor::StageActive() const { return LocalStage().active; }
+
+void CollapseMonitor::BeginStep(const StepContext& ctx) {
+  Stage& stage = LocalStage();
+  if (!enabled()) {
+    stage.active = false;
+    return;
+  }
+  stage.active = ctx.step % every() == 0;
+  stage.ctx = ctx;
+  stage.has_f = stage.has_g = stage.has_views = false;
+  stage.pool_entry = MatrixPool::Instance().stats();
+}
+
+void CollapseMonitor::RecordLossSplit(double loss_f, bool has_f, double loss_g,
+                                      bool has_g) {
+  Stage& stage = LocalStage();
+  if (!stage.active) return;
+  stage.has_f = has_f;
+  stage.has_g = has_g;
+  stage.loss_f = loss_f;
+  stage.loss_g = loss_g;
+}
+
+void CollapseMonitor::RecordRepresentations(const Matrix& u,
+                                            const Matrix& u_prime) {
+  Stage& stage = LocalStage();
+  if (!stage.active) return;
+  stage.u = u;
+  stage.v = u_prime;
+  stage.has_views = true;
+}
+
+void CollapseMonitor::EndStep(double loss, double grad_norm, double seconds) {
+  if (!enabled()) return;
+  StepMetrics& metrics = Metrics();
+  metrics.steps.Add(1);
+  metrics.loss.Set(loss);
+  metrics.grad_norm.Set(grad_norm);
+  metrics.step_ms.Observe(seconds * 1000.0);
+
+  Stage& stage = LocalStage();
+  if (!stage.active) return;
+  stage.active = false;
+
+  const PoolStats pool = MatrixPool::Instance().stats();
+  std::string line = "{";
+  {
+    char head[96];
+    std::snprintf(head, sizeof(head), "\"step\":%lld,\"epoch\":%d",
+                  static_cast<long long>(stage.ctx.step), stage.ctx.epoch);
+    line += head;
+  }
+  AppendNumber(line, "loss", loss);
+  if (stage.has_f) {
+    AppendNumber(line, "loss_f", stage.loss_f);
+    metrics.loss_f.Set(stage.loss_f);
+  }
+  if (stage.has_g) {
+    AppendNumber(line, "loss_g", stage.loss_g);
+    metrics.loss_g.Set(stage.loss_g);
+  }
+  AppendNumber(line, "grad_norm", grad_norm);
+  if (stage.has_views) {
+    const CollapseReport report = AnalyzeCollapse(stage.u, stage.v);
+    AppendNumber(line, "effective_rank", report.effective_rank);
+    AppendNumber(line, "top_k_mass", report.top_k_mass);
+    AppendInteger(line, "top_k", report.top_k);
+    AppendInteger(line, "surviving_dims", report.surviving_dims);
+    AppendNumber(line, "alignment", report.alignment);
+    AppendNumber(line, "uniformity", report.uniformity);
+    metrics.effective_rank.Set(report.effective_rank);
+    metrics.alignment.Set(report.alignment);
+    metrics.uniformity.Set(report.uniformity);
+    stage.u = Matrix();
+    stage.v = Matrix();
+  }
+  // Profiling fields (timing/environment-bound — the only fields that
+  // may differ run-to-run or across thread counts; see header).
+  AppendNumber(line, "step_seconds", seconds);
+  AppendInteger(line, "heap_allocs",
+                static_cast<long long>(pool.heap_allocs -
+                                       stage.pool_entry.heap_allocs));
+  AppendInteger(
+      line, "pool_hits",
+      static_cast<long long>(pool.pool_hits - stage.pool_entry.pool_hits));
+  AppendInteger(line, "threads", NumThreads());
+  line += "}\n";
+
+  metrics.records.Add(1);
+  StreamState& stream = GlobalStream();
+  std::lock_guard<std::mutex> lock(stream.mu);
+  if (stream.file == nullptr) {
+    if (stream.path.empty()) return;
+    stream.file =
+        std::fopen(stream.path.c_str(), stream.truncate_on_open ? "w" : "a");
+    if (stream.file == nullptr) {
+      std::fprintf(stderr, "gradgcl obs: cannot open metrics path %s\n",
+                   stream.path.c_str());
+      return;
+    }
+    stream.truncate_on_open = false;
+  }
+  std::fwrite(line.data(), 1, line.size(), stream.file);
+  std::fflush(stream.file);
+}
+
+}  // namespace gradgcl::obs

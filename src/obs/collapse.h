@@ -1,0 +1,110 @@
+// Runtime collapse diagnostics — the paper's Fig. 1 / Lemma 2-3 story
+// made observable while training runs, instead of only in the offline
+// spectrum benches.
+//
+// The CollapseMonitor samples every N-th optimisation step
+// (GRADGCL_OBS_EVERY, default 10) and records, per sampled step:
+//   * the combined loss and its ℓ_f / ℓ_g split (paper Eq. 18),
+//   * the parameter gradient norm and step wall-clock,
+//   * per-step pool traffic (heap allocs / pool hits),
+//   * collapse diagnostics of the current two-view projections:
+//     effective rank and top-k singular-value mass of the covariance
+//     spectrum (eval/spectrum, paper Eq. 5) and alignment / uniformity
+//     (losses/metrics, paper Eqs. 24-25).
+// Records stream as one JSON object per line (JSONL) to the path in
+// GRADGCL_METRICS (or SetStreamPath), and the headline values mirror
+// into the MetricsRegistry.
+//
+// Determinism contract: the monitor is strictly read-only with respect
+// to training — it copies values, never touches the tape, the RNG, or
+// any matrix the step still uses — so the loss/weight trajectory is
+// bit-identical with observability on or off (tests/obs_test.cc pins
+// this). The diagnostics themselves are computed by the same
+// deterministic kernels as the offline benches, so sampled values are
+// bit-identical across GRADGCL_NUM_THREADS; only the profiling fields
+// (step_seconds, pool deltas, threads) are timing/environment-bound.
+//
+// Threading: the trainer loop drives BeginStep/EndStep from one thread;
+// staging is thread-local, so seed-parallel bench grids (many
+// concurrent training runs) record without cross-talk, and the JSONL
+// stream is line-atomic under an internal mutex. When disabled, every
+// hook is one relaxed atomic load.
+
+#ifndef GRADGCL_OBS_COLLAPSE_H_
+#define GRADGCL_OBS_COLLAPSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl::obs {
+
+// Collapse diagnostics of a two-view embedding pair.
+struct CollapseReport {
+  double effective_rank = 0.0;  // exp-entropy of the covariance spectrum
+  double top_k_mass = 0.0;      // share of spectral mass in the top k values
+  int top_k = 0;                // the k used (min(8, d))
+  int surviving_dims = 0;       // sigma >= 1e-6 * sigma_max
+  double alignment = 0.0;       // Eq. 24 on (u, u')
+  double uniformity = 0.0;      // Eq. 25 on u
+};
+
+// Pure analysis used by the monitor — exactly eval/spectrum's
+// AnalyzeSpectrum plus losses/metrics' alignment/uniformity, so a
+// direct offline call on the same matrices is bit-identical
+// (tests/obs_test.cc enforces the equivalence).
+CollapseReport AnalyzeCollapse(const Matrix& u, const Matrix& u_prime);
+
+// Identity of one optimisation step, supplied by the training loop so
+// sampling is a pure function of the run (independent of thread count
+// and of any other run sharing the process).
+struct StepContext {
+  int64_t step = 0;  // global step index within the run
+  int epoch = 0;
+};
+
+class CollapseMonitor {
+ public:
+  // Process-wide monitor (leaked singleton).
+  static CollapseMonitor& Instance();
+
+  // True when a JSONL stream is configured (GRADGCL_METRICS or
+  // SetStreamPath) and metrics are enabled.
+  bool enabled() const;
+
+  // Sampling period (GRADGCL_OBS_EVERY, default 10; min 1).
+  int every() const;
+  void set_every(int n);
+
+  // Points the JSONL stream at `path` (empty closes and disables).
+  // Also flips obs::SetMetricsEnabled accordingly.
+  void SetStreamPath(const std::string& path);
+
+  // Flushes and closes the stream so its contents can be read back
+  // (tests); the path stays configured and reopens on the next record.
+  void CloseStream();
+
+  // True when the calling thread is inside a sampled step — the gate
+  // the loss-side recorders check before doing any work.
+  bool StageActive() const;
+
+  // Training-loop hooks. BeginStep decides whether `ctx.step` is
+  // sampled and opens the thread-local stage; Record* attach data from
+  // inside the step; EndStep computes the diagnostics, emits the JSONL
+  // record, and updates the registry. All are no-ops when disabled.
+  void BeginStep(const StepContext& ctx);
+  void RecordLossSplit(double loss_f, bool has_f, double loss_g, bool has_g);
+  void RecordRepresentations(const Matrix& u, const Matrix& u_prime);
+  void EndStep(double loss, double grad_norm, double seconds);
+
+  CollapseMonitor(const CollapseMonitor&) = delete;
+  CollapseMonitor& operator=(const CollapseMonitor&) = delete;
+
+ private:
+  CollapseMonitor() = default;
+};
+
+}  // namespace gradgcl::obs
+
+#endif  // GRADGCL_OBS_COLLAPSE_H_

@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace gradgcl::obs {
+
+namespace {
+
+// Fixed cell arena per shard: counters and histogram buckets draw cells
+// from one sequence, so a shard is a flat array and Add/Observe index
+// straight into it. 1024 cells (8 KiB/shard) is far above what the
+// built-in instrumentation registers (~40).
+constexpr uint32_t kMaxCells = 1024;
+constexpr uint32_t kMaxGauges = 256;
+
+struct Shard {
+  std::atomic<uint64_t> cells[kMaxCells] = {};
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  Kind kind = Kind::kCounter;
+  uint32_t index = 0;  // first cell (counter/histogram) or gauge slot
+  // Leaked stable storage so Histogram handles can point at the edges.
+  std::vector<double>* edges = nullptr;
+};
+
+// All registry state is leaked global state (see header): the shard of
+// a thread that exits after main() must still find a live registry.
+struct State {
+  std::mutex mu;  // guards names, shards, cell/gauge allocation
+  std::map<std::string, MetricInfo> names;
+  uint32_t next_cell = 0;
+  uint32_t next_gauge = 0;
+  std::vector<Shard*> shards;  // live, one per active writer thread
+  Shard retired;               // fold-in of exited threads
+  std::atomic<uint64_t> gauges[kMaxGauges] = {};
+
+  uint32_t AllocCells(uint32_t n) {
+    GRADGCL_CHECK_MSG(next_cell + n <= kMaxCells,
+                      "metrics cell arena exhausted");
+    const uint32_t first = next_cell;
+    next_cell += n;
+    return first;
+  }
+};
+
+State& GlobalState() {
+  static State* state = new State;  // leaked on purpose
+  return *state;
+}
+
+// Thread-local shard lifecycle: registers with the global state on the
+// thread's first metric write; on thread exit the cells fold into
+// `retired`. Integer adds commute, so neither which thread owned an
+// increment nor the fold order can change any merged total — the merge
+// is bit-stable across thread counts.
+struct ShardHandle {
+  Shard* shard;
+
+  ShardHandle() : shard(new Shard) {
+    State& state = GlobalState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.shards.push_back(shard);
+  }
+
+  ~ShardHandle() {
+    State& state = GlobalState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (uint32_t i = 0; i < kMaxCells; ++i) {
+      const uint64_t v = shard->cells[i].load(std::memory_order_relaxed);
+      if (v != 0) {
+        state.retired.cells[i].fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    for (size_t i = 0; i < state.shards.size(); ++i) {
+      if (state.shards[i] == shard) {
+        state.shards.erase(state.shards.begin() + i);
+        break;
+      }
+    }
+    delete shard;
+  }
+};
+
+Shard& LocalShard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* v = std::getenv("GRADGCL_METRICS");
+  return v != nullptr && v[0] != '\0';
+}()};
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked
+  return *registry;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name) {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.names.find(name);
+  if (it != state.names.end()) {
+    GRADGCL_CHECK_MSG(it->second.kind == Kind::kCounter,
+                      "metric re-registered with a different kind");
+    return Counter(it->second.index);
+  }
+  MetricInfo info;
+  info.kind = Kind::kCounter;
+  info.index = state.AllocCells(1);
+  state.names.emplace(name, info);
+  return Counter(info.index);
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name) {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.names.find(name);
+  if (it != state.names.end()) {
+    GRADGCL_CHECK_MSG(it->second.kind == Kind::kGauge,
+                      "metric re-registered with a different kind");
+    return Gauge(it->second.index);
+  }
+  GRADGCL_CHECK_MSG(state.next_gauge < kMaxGauges,
+                    "metrics gauge arena exhausted");
+  MetricInfo info;
+  info.kind = Kind::kGauge;
+  info.index = state.next_gauge++;
+  state.names.emplace(name, info);
+  return Gauge(info.index);
+}
+
+Histogram MetricsRegistry::GetHistogram(const std::string& name,
+                                        const std::vector<double>& edges) {
+  GRADGCL_CHECK_MSG(!edges.empty(), "histogram needs >= 1 bucket edge");
+  for (size_t i = 1; i < edges.size(); ++i) {
+    GRADGCL_CHECK_MSG(edges[i] > edges[i - 1],
+                      "histogram edges must be strictly increasing");
+  }
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.names.find(name);
+  if (it != state.names.end()) {
+    GRADGCL_CHECK_MSG(it->second.kind == Kind::kHistogram,
+                      "metric re-registered with a different kind");
+    GRADGCL_CHECK_MSG(*it->second.edges == edges,
+                      "histogram re-registered with different edges");
+    return Histogram(it->second.index, it->second.edges->data(),
+                     static_cast<uint32_t>(edges.size()));
+  }
+  MetricInfo info;
+  info.kind = Kind::kHistogram;
+  info.index = state.AllocCells(static_cast<uint32_t>(edges.size()) + 1);
+  info.edges = new std::vector<double>(edges);  // leaked, stable storage
+  state.names.emplace(name, info);
+  return Histogram(info.index, info.edges->data(),
+                   static_cast<uint32_t>(edges.size()));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto merged_cell = [&state](uint32_t cell) {
+    uint64_t total = state.retired.cells[cell].load(std::memory_order_relaxed);
+    for (const Shard* shard : state.shards) {
+      total += shard->cells[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  for (const auto& [name, info] : state.names) {
+    switch (info.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(name, merged_cell(info.index));
+        break;
+      case Kind::kGauge: {
+        const uint64_t bits =
+            state.gauges[info.index].load(std::memory_order_relaxed);
+        double value;
+        std::memcpy(&value, &bits, sizeof(value));
+        snap.gauges.emplace_back(name, value);
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramData data;
+        data.upper_edges = *info.edges;
+        data.counts.reserve(info.edges->size() + 1);
+        for (uint32_t b = 0; b <= info.edges->size(); ++b) {
+          const uint64_t c = merged_cell(info.index + b);
+          data.counts.push_back(c);
+          data.total += c;
+        }
+        snap.histograms.emplace_back(name, std::move(data));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (uint32_t i = 0; i < kMaxCells; ++i) {
+    state.retired.cells[i].store(0, std::memory_order_relaxed);
+    for (Shard* shard : state.shards) {
+      shard->cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (uint32_t i = 0; i < kMaxGauges; ++i) {
+    state.gauges[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Counter::Add(uint64_t n) {
+  LocalShard().cells[cell_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  GlobalState().gauges[slot_].store(bits, std::memory_order_relaxed);
+}
+
+double Gauge::Get() const {
+  const uint64_t bits =
+      GlobalState().gauges[slot_].load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void Histogram::Observe(double value) {
+  uint32_t bucket = num_edges_;  // overflow bucket by default
+  for (uint32_t i = 0; i < num_edges_; ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  LocalShard().cells[first_cell_ + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace gradgcl::obs

@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "common/json.h"
+
+namespace gradgcl::obs {
+
+namespace {
+
+// Per-thread ring capacity. 8192 events x 32 B = 256 KiB per tracing
+// thread; when a ring wraps, that thread's oldest spans are dropped
+// (and counted) rather than blocking or allocating.
+constexpr size_t kRingCapacity = 8192;
+
+uint64_t NowNs() {
+  // +1 so a valid span start is never the 0 "tracing was off" sentinel.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - epoch)
+                 .count()) +
+         1;
+}
+
+// The per-ring mutex is only ever contended by SnapshotTraceEvents /
+// ClearTrace (rare, coordination points); on the hot path it is an
+// uncontended lock per completed span, taken only while tracing is on.
+struct Ring {
+  std::mutex mu;
+  TraceEvent events[kRingCapacity];
+  uint64_t next = 0;  // monotonically increasing write index
+  uint32_t tid = 0;
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    events[next % kRingCapacity] = event;
+    ++next;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;  // guards rings, retired, dropped, tids
+  std::vector<Ring*> rings;
+  std::vector<TraceEvent> retired;  // spans of exited threads
+  uint64_t dropped = 0;             // wrap-around + retirement losses
+  uint32_t next_tid = 1;
+};
+
+TraceState& GlobalTrace() {
+  static TraceState* state = new TraceState;  // leaked on purpose
+  return *state;
+}
+
+// Appends the live contents of `ring` (oldest first) to `out`,
+// returning how many events were dropped to wrap-around.
+uint64_t DrainRingLocked(Ring& ring, std::vector<TraceEvent>& out) {
+  std::lock_guard<std::mutex> lock(ring.mu);
+  const uint64_t live = std::min<uint64_t>(ring.next, kRingCapacity);
+  const uint64_t begin = ring.next - live;
+  for (uint64_t i = begin; i < ring.next; ++i) {
+    out.push_back(ring.events[i % kRingCapacity]);
+  }
+  return ring.next - live;
+}
+
+struct RingHandle {
+  Ring* ring;
+
+  RingHandle() : ring(new Ring) {
+    TraceState& state = GlobalTrace();
+    std::lock_guard<std::mutex> lock(state.mu);
+    ring->tid = state.next_tid++;
+    state.rings.push_back(ring);
+  }
+
+  ~RingHandle() {
+    TraceState& state = GlobalTrace();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.dropped += DrainRingLocked(*ring, state.retired);
+    for (size_t i = 0; i < state.rings.size(); ++i) {
+      if (state.rings[i] == ring) {
+        state.rings.erase(state.rings.begin() + i);
+        break;
+      }
+    }
+    delete ring;
+  }
+};
+
+Ring& LocalRing() {
+  thread_local RingHandle handle;
+  return *handle.ring;
+}
+
+std::string& TracePathStorage() {
+  static std::string* path = new std::string(
+      std::getenv("GRADGCL_TRACE") != nullptr ? std::getenv("GRADGCL_TRACE")
+                                              : "");
+  return *path;
+}
+
+std::mutex& TracePathMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::atomic<bool> g_tracing_enabled{[] {
+  const char* v = std::getenv("GRADGCL_TRACE");
+  return v != nullptr && v[0] != '\0';
+}()};
+
+void WriteTraceAtExit() { WriteTrace(); }
+
+// When GRADGCL_TRACE is set, the trace file is written automatically at
+// process exit (benches and the CLI need no explicit flush call).
+struct AtExitRegistrar {
+  AtExitRegistrar() {
+    const char* v = std::getenv("GRADGCL_TRACE");
+    if (v != nullptr && v[0] != '\0') std::atexit(WriteTraceAtExit);
+  }
+} g_at_exit_registrar;
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTracePath(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(TracePathMutex());
+    TracePathStorage() = path;
+  }
+  if (!path.empty()) SetTracingEnabled(true);
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  TraceState& state = GlobalTrace();
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(state.mu);
+  events = state.retired;
+  for (Ring* ring : state.rings) DrainRingLocked(*ring, events);
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;  // parents before children
+            });
+  return events;
+}
+
+uint64_t DroppedTraceEvents() {
+  TraceState& state = GlobalTrace();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t dropped = state.dropped;
+  for (Ring* ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    dropped += ring->next - std::min<uint64_t>(ring->next, kRingCapacity);
+  }
+  return dropped;
+}
+
+void ClearTrace() {
+  TraceState& state = GlobalTrace();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.retired.clear();
+  state.dropped = 0;
+  for (Ring* ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+  }
+}
+
+bool WriteTrace() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(TracePathMutex());
+    path = TracePathStorage();
+  }
+  if (path.empty()) return false;
+  return WriteTraceTo(path);
+}
+
+bool WriteTraceTo(const std::string& path) {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "gradgcl obs: cannot open trace path %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\"traceEvents\":[\n");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(out,
+                 "{\"name\":%s,\"cat\":\"gradgcl\",\"ph\":\"X\",\"pid\":1,"
+                 "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}%s\n",
+                 JsonString(e.name != nullptr ? e.name : "?").c_str(), e.tid,
+                 e.start_ns / 1000.0, e.duration_ns / 1000.0,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(out, "],\"displayTimeUnit\":\"ms\"}\n");
+  std::fclose(out);
+  return true;
+}
+
+const char* InternName(const std::string& name) {
+  static std::mutex* mu = new std::mutex;
+  static std::set<std::string>* interned = new std::set<std::string>;
+  std::lock_guard<std::mutex> lock(*mu);
+  return interned->insert(name).first->c_str();
+}
+
+TraceScope::TraceScope(const char* name)
+    : name_(name), start_ns_(TracingEnabled() ? NowNs() : 0) {}
+
+TraceScope::~TraceScope() {
+  if (start_ns_ == 0) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = NowNs() - start_ns_;
+  event.tid = 0;
+  Ring& ring = LocalRing();
+  event.tid = ring.tid;
+  ring.Push(event);
+}
+
+}  // namespace gradgcl::obs

@@ -1,0 +1,79 @@
+// RAII tracing spans emitted as Chrome-trace JSON (chrome://tracing /
+// Perfetto "traceEvents" format).
+//
+// TraceScope records one complete ("ph": "X") event per scope into a
+// per-thread ring buffer of fixed capacity: entering and leaving a span
+// is two monotonic-clock reads and a ring write — no locks, no heap
+// allocation, no formatting on the hot path. Scopes nest naturally
+// (Chrome infers nesting from timestamp containment per thread); when a
+// ring wraps, the oldest events on that thread are dropped and counted.
+//
+// Tracing is off by default and every TraceScope then reduces to one
+// relaxed atomic load. It turns on when GRADGCL_TRACE=out.json is set
+// in the environment (the trace is then written to that path at process
+// exit) or programmatically via SetTracingEnabled / WriteTraceTo.
+//
+// Span names must outlive the process: pass string literals, or intern
+// dynamic labels once via InternName (outside hot loops).
+
+#ifndef GRADGCL_OBS_TRACE_H_
+#define GRADGCL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gradgcl::obs {
+
+// True when spans are being recorded.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+// Path the trace is written to at process exit (empty = no auto-write).
+// Defaults to $GRADGCL_TRACE. Setting a non-empty path also enables
+// tracing.
+void SetTracePath(const std::string& path);
+
+// Writes the buffered events as Chrome-trace JSON. WriteTrace() uses
+// the configured path (no-op returning false when none). Events stay
+// buffered, so both can be called repeatedly.
+bool WriteTrace();
+bool WriteTraceTo(const std::string& path);
+
+// Drops all buffered events (test isolation).
+void ClearTrace();
+
+// Stable storage for a dynamic span label (leaked; intern once, reuse).
+const char* InternName(const std::string& name);
+
+// One completed span, for tests and the JSON writer.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // since process trace epoch
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;  // small per-thread id assigned at first span
+};
+
+// All buffered events merged across threads, sorted by start time.
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+// Number of events dropped to ring wrap-around since start/ClearTrace.
+uint64_t DroppedTraceEvents();
+
+// RAII span; see file comment.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;  // 0 sentinel: tracing was off at entry
+};
+
+}  // namespace gradgcl::obs
+
+#endif  // GRADGCL_OBS_TRACE_H_

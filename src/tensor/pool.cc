@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace gradgcl {
 
@@ -53,6 +54,25 @@ bool ProfileAllocEnabled() {
 }
 
 thread_local bool t_tape_scope_active = false;
+
+// Registry handles for the per-step pool traffic, registered once on
+// the first instrumented step (registration locks; Add is wait-free).
+struct PoolMetrics {
+  obs::Counter heap_allocs, heap_bytes, pool_hits, acquires;
+
+  PoolMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    heap_allocs = reg.GetCounter("pool/heap_allocs");
+    heap_bytes = reg.GetCounter("pool/heap_bytes");
+    pool_hits = reg.GetCounter("pool/hits");
+    acquires = reg.GetCounter("pool/acquires");
+  }
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* metrics = new PoolMetrics;  // leaked
+  return *metrics;
+}
 
 }  // namespace
 
@@ -169,13 +189,26 @@ void SetFusedKernelsEnabled(bool enabled) {
 
 TapeScope::TapeScope() : prev_(t_tape_scope_active) {
   t_tape_scope_active = true;
-  if (ProfileAllocEnabled()) entry_ = MatrixPool::Instance().stats();
+  if (!prev_ && (ProfileAllocEnabled() || obs::MetricsEnabled())) {
+    entry_ = MatrixPool::Instance().stats();
+  }
 }
 
 TapeScope::~TapeScope() {
   t_tape_scope_active = prev_;
-  if (!prev_ && ProfileAllocEnabled()) {
-    const PoolStats now = MatrixPool::Instance().stats();
+  if (prev_) return;
+  const bool profile = ProfileAllocEnabled();
+  const bool metrics = obs::MetricsEnabled();
+  if (!profile && !metrics) return;
+  const PoolStats now = MatrixPool::Instance().stats();
+  if (metrics) {
+    PoolMetrics& pm = GetPoolMetrics();
+    pm.heap_allocs.Add(now.heap_allocs - entry_.heap_allocs);
+    pm.heap_bytes.Add(now.heap_bytes - entry_.heap_bytes);
+    pm.pool_hits.Add(now.pool_hits - entry_.pool_hits);
+    pm.acquires.Add(now.acquires - entry_.acquires);
+  }
+  if (profile) {
     std::fprintf(stderr,
                  "[gradgcl alloc] step: %llu heap allocs (%llu bytes), "
                  "%llu pool hits\n",

@@ -1,9 +1,29 @@
 #include "train/trainer.h"
 
+#include <cmath>
+
 #include "common/stopwatch.h"
+#include "obs/collapse.h"
+#include "obs/trace.h"
 #include "tensor/pool.h"
 
 namespace gradgcl {
+
+namespace {
+
+// L2 norm over all parameter gradients, accumulated serially in
+// parameter order (deterministic; only computed when observability is
+// on).
+double ParameterGradNorm(const std::vector<Variable>& params) {
+  double sum_sq = 0.0;
+  for (const Variable& p : params) {
+    const double n = p.grad().FrobeniusNorm();
+    sum_sq += n * n;
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 std::vector<std::vector<int>> MakeMiniBatches(int n, int batch_size,
                                               Rng& rng) {
@@ -31,9 +51,12 @@ std::vector<EpochStats> TrainGraphSsl(
                  options.weight_decay);
   Rng rng(options.seed);
 
+  obs::CollapseMonitor& monitor = obs::CollapseMonitor::Instance();
   std::vector<EpochStats> history;
   history.reserve(options.epochs);
+  int64_t global_step = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::TraceScope epoch_span("train/epoch");
     optimizer.set_lr(
         ScheduledLr(options.schedule, options.lr, epoch, options.epochs));
     Stopwatch watch;
@@ -41,6 +64,9 @@ std::vector<EpochStats> TrainGraphSsl(
     int steps = 0;
     for (const std::vector<int>& batch : MakeMiniBatches(
              static_cast<int>(dataset.size()), options.batch_size, rng)) {
+      obs::TraceScope step_span("train/step");
+      Stopwatch step_watch;
+      monitor.BeginStep(obs::StepContext{global_step, epoch});
       // Step-scoped pooling: every Matrix the forward/backward pass
       // allocates inside this scope recycles through the MatrixPool.
       // Parameters and optimizer state were created outside any scope
@@ -49,10 +75,19 @@ std::vector<EpochStats> TrainGraphSsl(
       optimizer.ZeroGrad();
       Variable loss = model.BatchLoss(dataset, batch, rng);
       Backward(loss);
+      const double loss_value = loss.scalar();
+      const double grad_norm =
+          monitor.enabled() ? ParameterGradNorm(model.parameters()) : 0.0;
       optimizer.Step();
       model.PostStep();
-      epoch_loss += loss.scalar();
+      // Inside the tape so the monitor's temporaries recycle through
+      // the pool.
+      if (monitor.enabled()) {
+        monitor.EndStep(loss_value, grad_norm, step_watch.ElapsedSeconds());
+      }
+      epoch_loss += loss_value;
       ++steps;
+      ++global_step;
     }
     EpochStats stats;
     stats.epoch = epoch;
@@ -72,6 +107,7 @@ std::vector<EpochStats> TrainNodeSsl(
                  options.weight_decay);
   Rng rng(options.seed);
 
+  obs::CollapseMonitor& monitor = obs::CollapseMonitor::Instance();
   std::vector<EpochStats> history;
   history.reserve(options.epochs);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
@@ -80,13 +116,20 @@ std::vector<EpochStats> TrainNodeSsl(
     Stopwatch watch;
     EpochStats stats;
     {
+      obs::TraceScope step_span("train/step");
+      monitor.BeginStep(obs::StepContext{epoch, epoch});
       TapeScope tape;  // step-scoped pooling, as in TrainGraphSsl
       optimizer.ZeroGrad();
       Variable loss = model.EpochLoss(dataset, rng);
       Backward(loss);
+      stats.loss = loss.scalar();
+      const double grad_norm =
+          monitor.enabled() ? ParameterGradNorm(model.parameters()) : 0.0;
       optimizer.Step();
       model.PostStep();
-      stats.loss = loss.scalar();
+      if (monitor.enabled()) {
+        monitor.EndStep(stats.loss, grad_norm, watch.ElapsedSeconds());
+      }
     }
     stats.epoch = epoch;
     stats.seconds = watch.ElapsedSeconds();

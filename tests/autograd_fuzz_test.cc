@@ -5,12 +5,16 @@
 
 #include <cmath>
 #include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 
 namespace gradgcl {
 namespace {
@@ -116,6 +120,121 @@ TEST_P(SharedSubexpression, GradientScalesWithFanout) {
 
 INSTANTIATE_TEST_SUITE_P(Fanouts, SharedSubexpression,
                          ::testing::Values(1, 2, 3, 8, 32));
+
+// --- Fused-kernel fuzzing ---------------------------------------------------
+//
+// The six fused kernels of the loss pipeline, gradient-checked on
+// random shapes, with the matrix pool both on and off (pooled buffers
+// are recycled mid-graph, so a stale-aliasing bug would only show up
+// on the pooled leg). Each kernel output is scalarised through a
+// fixed random probe (Sum(Hadamard(out, probe))) so every output
+// entry contributes its own weight to the gradient.
+
+constexpr const char* kFusedKernels[] = {
+    "MatMulTransBScaled", "CosineGram",     "MaskedExpRowSum",
+    "ScaleRowsMatMul",    "OffDiagSigmoid", "LogSumExpOffDiag",
+};
+
+// inputs = {u (n x d), v (n x d), c (n x 1)}. Probes are rebuilt from
+// `rng` on every call so re-evaluations see identical constants.
+Variable FusedKernelExpression(int kernel, const VarList& inputs, int n,
+                               int d, Rng& rng) {
+  const Variable& u = inputs[0];
+  const Variable& v = inputs[1];
+  const Variable& c = inputs[2];
+  const Variable probe_nn(Matrix::RandomNormal(n, n, rng));
+  const Variable probe_nd(Matrix::RandomNormal(n, d, rng));
+  const Variable probe_n1(Matrix::RandomNormal(n, 1, rng));
+
+  Variable out;
+  Variable probe;
+  switch (kernel) {
+    case 0:
+      out = ag::MatMulTransBScaled(u, v, 1.3);
+      probe = probe_nn;
+      break;
+    case 1:
+      out = ag::CosineGram(u, /*inv_tau=*/2.0);
+      probe = probe_nn;
+      break;
+    case 2:
+      out = ag::MaskedExpRowSum(ag::MatMulTransBScaled(u, v, 0.7));
+      probe = probe_n1;
+      break;
+    case 3:
+      out = ag::ScaleRowsMatMul(ag::MatMulTransB(u, v), c, v, 0.3);
+      probe = probe_nd;
+      break;
+    case 4:
+      out = ag::OffDiagSigmoid(ag::MatMulTransBScaled(u, v, 0.5));
+      probe = probe_nn;
+      break;
+    default:
+      out = ag::LogSumExpOffDiag(ag::MatMulTransBScaled(u, v, 0.9));
+      probe = probe_n1;
+      break;
+  }
+  Variable total = ag::Sum(ag::Hadamard(out, probe));
+  // Mix in every input so all three receive gradients even for
+  // kernels that only consume u and v.
+  for (const Variable& in : inputs) {
+    total = ag::Add(total, ag::ScalarMul(ag::Mean(ag::Square(in)), 0.01));
+  }
+  return total;
+}
+
+class FusedKernelFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {
+ protected:
+  void SetUp() override { pooled_ = PoolingEnabled(); }
+  void TearDown() override { SetPoolingEnabled(pooled_); }
+
+ private:
+  bool pooled_ = false;
+};
+
+TEST_P(FusedKernelFuzz, FusedKernelsGradCheck) {
+  const auto [seed, pooled] = GetParam();
+  SetPoolingEnabled(pooled);
+
+  Rng init(seed * 104729 + 7);
+  const int n = 3 + init.UniformInt(3);
+  const int d = 2 + init.UniformInt(3);
+  VarList inputs;
+  inputs.emplace_back(Matrix::RandomNormal(n, d, init, 0.0, 0.8),
+                      /*requires_grad=*/true);
+  inputs.emplace_back(Matrix::RandomNormal(n, d, init, 0.0, 0.8),
+                      /*requires_grad=*/true);
+  inputs.emplace_back(Matrix::RandomNormal(n, 1, init, 0.0, 0.8),
+                      /*requires_grad=*/true);
+
+  for (int kernel = 0; kernel < 6; ++kernel) {
+    const uint64_t probe_seed = seed * 6007 + kernel * 271 + 1;
+    auto forward = [kernel, probe_seed, n, d](const VarList& in) {
+      Rng probe_rng(probe_seed);
+      return FusedKernelExpression(kernel, in, n, d, probe_rng);
+    };
+    // The pooled leg recycles tape temporaries through the pool across
+    // the re-evaluations gradcheck performs.
+    std::optional<TapeScope> tape;
+    if (pooled) tape.emplace();
+    const ag::GradCheckResult result =
+        ag::CheckGradients(forward, inputs, 1e-5, 2e-4);
+    EXPECT_TRUE(result.ok)
+        << kFusedKernels[kernel] << " seed " << seed
+        << (pooled ? " (pooled)" : " (unpooled)") << " n=" << n << " d=" << d
+        << ": max error " << result.max_abs_error << " at "
+        << result.worst_entry;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPooling, FusedKernelFuzz,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 8), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FusedKernelFuzz::ParamType>& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "Pooled" : "Unpooled");
+    });
 
 }  // namespace
 }  // namespace gradgcl
