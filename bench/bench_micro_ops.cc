@@ -7,7 +7,10 @@
 // times the parallel kernels (dense matmul, the batched-graph SpMM
 // aggregation, row softmax) at 1/2/4 pool threads, checks the outputs
 // are bit-identical across thread counts, and emits BENCH_kernels.json
-// so the perf trajectory is machine-readable across PRs.
+// so the perf trajectory is machine-readable across PRs. A second grid
+// times the GEMM-family kernels with the scalar table (GRADGCL_SIMD=0)
+// against the active vector table and emits BENCH_gemm.json with
+// GFLOP/s per kernel and the SIMD speedup.
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +31,7 @@
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 
 namespace {
@@ -296,6 +300,82 @@ void WriteKernelScalingReport(const char* path) {
   gradgcl::SetNumThreads(restore_threads);
 }
 
+// --- SIMD GEMM grid ---------------------------------------------------------
+
+// One GEMM-family kernel timed scalar-vs-SIMD; flops = 2 n k m.
+struct GemmCase {
+  std::string name;
+  double flops;
+  std::function<Matrix()> apply;
+};
+
+// Times each GEMM kernel with the scalar table (GRADGCL_SIMD=0) and the
+// active vector table, reports GFLOP/s and the SIMD speedup, and writes
+// `path` as JSON (the ISSUE acceptance gate: >= 2x on AVX2 hardware).
+void WriteGemmSimdReport(const char* path) {
+  constexpr int kReps = 5;
+
+  Rng rng(12);
+  const Matrix a256 = Matrix::RandomNormal(256, 256, rng);
+  const Matrix b256 = Matrix::RandomNormal(256, 256, rng);
+  const Matrix a512 = Matrix::RandomNormal(512, 512, rng);
+  const Matrix b512 = Matrix::RandomNormal(512, 512, rng);
+  const Matrix scale256 = Matrix::RandomNormal(256, 1, rng);
+
+  const double f256 = 2.0 * 256 * 256 * 256;
+  const std::vector<GemmCase> cases = {
+      {"matmul_256", f256, [&] { return MatMul(a256, b256); }},
+      {"matmul_512", 2.0 * 512 * 512 * 512,
+       [&] { return MatMul(a512, b512); }},
+      {"matmul_trans_a_256", f256, [&] { return MatMulTransA(a256, b256); }},
+      {"matmul_trans_b_256", f256, [&] { return MatMulTransB(a256, b256); }},
+      {"matmul_trans_b_scaled_256", f256,
+       [&] { return MatMulTransBScaled(a256, b256, 0.5); }},
+      {"scale_rows_matmul_256", f256,
+       [&] { return ScaleRowsMatMulScaled(a256, scale256, b256, 2.0); }},
+  };
+
+  const bool restore_simd = simd::Enabled();
+  std::FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"gemm\",\n  \"isa\": \"%s\",\n"
+               "  \"kernels\": [\n",
+               simd::IsaName(simd::CompiledIsa()));
+
+  std::printf("\nGEMM SIMD dispatch (best of %d reps; isa=%s)\n", kReps,
+              simd::IsaName(simd::CompiledIsa()));
+  std::printf("%-26s %12s %12s %10s %10s %8s\n", "kernel", "scalar(s)",
+              "simd(s)", "scalar GF/s", "simd GF/s", "speedup");
+  for (size_t c = 0; c < cases.size(); ++c) {
+    simd::SetEnabled(false);
+    const double scalar_s = TimeKernel(cases[c].apply, kReps);
+    simd::SetEnabled(true);
+    const double simd_s = TimeKernel(cases[c].apply, kReps);
+    const double scalar_gflops = cases[c].flops / scalar_s / 1e9;
+    const double simd_gflops = cases[c].flops / simd_s / 1e9;
+    const double speedup = scalar_s / simd_s;
+    std::printf("%-26s %12.6f %12.6f %10.2f %10.2f %7.2fx\n",
+                cases[c].name.c_str(), scalar_s, simd_s, scalar_gflops,
+                simd_gflops, speedup);
+    std::fprintf(json,
+                 "    {\"name\": %s, \"flops\": %.0f, "
+                 "\"scalar_seconds\": %.9f, \"simd_seconds\": %.9f, "
+                 "\"scalar_gflops\": %.4f, \"simd_gflops\": %.4f, "
+                 "\"speedup\": %.4f}%s\n",
+                 JsonString(cases[c].name).c_str(), cases[c].flops, scalar_s,
+                 simd_s, scalar_gflops, simd_gflops, speedup,
+                 c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+  simd::SetEnabled(restore_simd);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -304,5 +384,6 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   WriteKernelScalingReport("BENCH_kernels.json");
+  WriteGemmSimdReport("BENCH_gemm.json");
   return 0;
 }

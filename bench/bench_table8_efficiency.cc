@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "common/stopwatch.h"
 #include "tensor/pool.h"
+#include "tensor/simd.h"
 
 namespace {
 
@@ -176,6 +177,8 @@ void WriteAllocReport(const char* path) {
   std::fprintf(json, "  \"workload\": %s,\n",
                JsonString("GraphCL(f+g) PROTEINS batch=64").c_str());
   std::fprintf(json, "  \"timed_epochs\": %d,\n", kTimedEpochs);
+  std::fprintf(json, "  \"simd\": \"%s\",\n",
+               simd::IsaName(simd::ActiveIsa()));
   const auto leg_json = [json](const char* name, const AllocLeg& leg) {
     std::fprintf(json,
                  "  %s: {\"steps_per_sec\": %.3f, "

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "tensor/pool.h"
+#include "tensor/simd.h"
 
 namespace gradgcl {
 
@@ -223,20 +224,24 @@ void Matrix::Reshape(int rows, int cols) {
   cols_ = cols;
 }
 
+// Serial strided arithmetic routes through the active SIMD table; the
+// elementwise kernels are one rounding per element, so the bits never
+// depend on the SIMD mode.
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   GRADGCL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  simd::Active().add(data_, other.data_, size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   GRADGCL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (int i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  simd::Active().sub(data_, other.data_, size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (int i = 0; i < size(); ++i) data_[i] *= s;
+  simd::Active().scale(data_, size(), s);
   return *this;
 }
 

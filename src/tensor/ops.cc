@@ -4,15 +4,11 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "tensor/simd.h"
 
 namespace gradgcl {
 
 namespace {
-
-// Rows of b (resp. columns of the k-dimension) processed per cache
-// block: 32 rows x 512 doubles = 128 KiB, sized for L2 residency while
-// a strip of output rows streams over the block.
-constexpr int kKBlock = 32;
 
 // Row grain so each chunk carries at least ~2^15 multiply-adds.
 int64_t RowGrain(int64_t work_per_row) {
@@ -24,6 +20,15 @@ int64_t RowGrain(int64_t work_per_row) {
 
 }  // namespace
 
+// The dense products below parallelize over strips of whole output
+// rows and hand each strip to the active SIMD kernel table
+// (tensor/simd.h). Per output element the accumulation order is fixed
+// by the kernel's blocking — kk ascending, never split across chunks —
+// so results are bit-identical for any thread count in either SIMD
+// mode. Matrix buffers are 64-byte aligned by construction
+// (tensor/pool.cc); strip-offset pointers may not be, so the kernels
+// use unaligned vector loads.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRADGCL_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
@@ -31,26 +36,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
-  // Row-parallel, k-blocked ikj: each chunk owns a strip of output
-  // rows; a k-block of b stays cache-hot while the strip streams over
-  // it. Per output element the accumulation order is kk ascending for
-  // any blocking/thread count, so results are bit-identical. Each
-  // chunk zeroes its own strip, so the output can start uninitialized.
+  GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
+                 simd::IsAligned64(odata));
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    std::fill(odata + r0 * m, odata + r1 * m, 0.0);
-    for (int64_t kb = 0; kb < k; kb += kKBlock) {
-      const int64_t kend = std::min(k, kb + kKBlock);
-      for (int64_t i = r0; i < r1; ++i) {
-        const double* arow = adata + i * k;
-        double* orow = odata + i * m;
-        for (int64_t kk = kb; kk < kend; ++kk) {
-          const double av = arow[kk];
-          if (av == 0.0) continue;
-          const double* brow = bdata + kk * m;
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
+    kt.gemm(adata + r0 * k, k, bdata, m, odata + r0 * m, m, r1 - r0, k, m,
+            /*row_scale=*/nullptr, /*post=*/1.0);
   });
   return out;
 }
@@ -62,25 +53,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
-  // Each chunk owns a fixed-order strip of output rows (a column strip
-  // of a), zeroes it, and accumulates over kk ascending — never
-  // splitting a sum across chunks — so the reduction order is
-  // thread-count-invariant. k-blocking keeps the strip's output rows
-  // hot across the block.
+  GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
+                 simd::IsAligned64(odata));
+  const simd::KernelTable& kt = simd::Active();
+  // Each chunk owns a strip of output rows (a column strip of a).
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
-    std::fill(odata + i0 * m, odata + i1 * m, 0.0);
-    for (int64_t kb = 0; kb < k; kb += kKBlock) {
-      const int64_t kend = std::min(k, kb + kKBlock);
-      for (int64_t i = i0; i < i1; ++i) {
-        double* orow = odata + i * m;
-        for (int64_t kk = kb; kk < kend; ++kk) {
-          const double av = adata[kk * n + i];
-          if (av == 0.0) continue;
-          const double* brow = bdata + kk * m;
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
+    kt.gemm_transa(adata, n, bdata, m, odata, m, i0, i1, k, m);
   });
   return out;
 }
@@ -92,22 +70,12 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
-  // Row-parallel dot products; a tile of b rows is reused across the
-  // whole strip of a rows before moving on.
+  GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
+                 simd::IsAligned64(odata));
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    for (int64_t jb = 0; jb < m; jb += kKBlock) {
-      const int64_t jend = std::min(m, jb + kKBlock);
-      for (int64_t i = r0; i < r1; ++i) {
-        const double* arow = adata + i * k;
-        double* orow = odata + i * m;
-        for (int64_t j = jb; j < jend; ++j) {
-          const double* brow = bdata + j * k;
-          double dot = 0.0;
-          for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-          orow[j] = dot;
-        }
-      }
-    }
+    kt.gemm_transb(adata + r0 * k, bdata, odata + r0 * m, m, r1 - r0, k, m,
+                   /*scale=*/1.0);
   });
   return out;
 }
@@ -119,22 +87,13 @@ Matrix MatMulTransBScaled(const Matrix& a, const Matrix& b, double scale) {
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
-  // Same loop as MatMulTransB; each dot product completes before the
-  // scale is applied, so the bits match ScalarMul(MatMulTransB(a, b)).
+  const simd::KernelTable& kt = simd::Active();
+  // Same dot kernel as MatMulTransB; each dot product completes before
+  // the scale is applied, so the bits match ScalarMul(MatMulTransB(a,
+  // b)) in either SIMD mode.
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    for (int64_t jb = 0; jb < m; jb += kKBlock) {
-      const int64_t jend = std::min(m, jb + kKBlock);
-      for (int64_t i = r0; i < r1; ++i) {
-        const double* arow = adata + i * k;
-        double* orow = odata + i * m;
-        for (int64_t j = jb; j < jend; ++j) {
-          const double* brow = bdata + j * k;
-          double dot = 0.0;
-          for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-          orow[j] = dot * scale;
-        }
-      }
-    }
+    kt.gemm_transb(adata + r0 * k, bdata, odata + r0 * m, m, r1 - r0, k, m,
+                   scale);
   });
   return out;
 }
@@ -148,20 +107,18 @@ void MaskedExpRowSum(const Matrix& s, Matrix* exp_out, Matrix* rowsum_out) {
   const double* sdata = s.data();
   double* edata = e.data();
   double* rdata = rs.data();
+  const simd::KernelTable& kt = simd::Active();
   // The unfused path stores exp(s_ii) * 0.0 == +0.0 on the diagonal and
-  // its RowSum adds that zero in place; summing the stored row in the
-  // same j-ascending order reproduces those bits exactly.
+  // its RowSum adds that zero in place; summing the stored row with the
+  // same `sum` kernel RowSum uses reproduces those bits exactly.
   ParallelFor(0, n, RowGrain(n), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* srow = sdata + i * n;
       double* erow = edata + i * n;
-      double sum = 0.0;
       for (int64_t j = 0; j < n; ++j) {
-        const double v = j == i ? 0.0 : std::exp(srow[j]);
-        erow[j] = v;
-        sum += v;
+        erow[j] = j == i ? 0.0 : std::exp(srow[j]);
       }
-      rdata[i] = sum;
+      rdata[i] = kt.sum(erow, n);
     }
   });
   *exp_out = std::move(e);
@@ -178,28 +135,16 @@ Matrix ScaleRowsMatMulScaled(const Matrix& a, const Matrix& row_scale,
   const double* sdata = row_scale.data();
   const double* bdata = b.data();
   double* odata = out.data();
-  // MatMul's k-blocked ikj loop with the row scale folded into av (the
-  // product a(i, kk) * s_i is rounded first, exactly like the stored
-  // ScaleRows intermediate) and the post scale applied once per output
-  // element after its accumulation completes — both bit-identical to
-  // ScalarMul(MatMul(ScaleRows(a, row_scale), b), post).
+  const simd::KernelTable& kt = simd::Active();
+  // MatMul's gemm kernel with the row scale folded into av (the product
+  // a(i, kk) * s_i is rounded first, exactly like the stored ScaleRows
+  // intermediate) and the post scale applied once per output element
+  // after its accumulation completes — bit-identical to
+  // ScalarMul(MatMul(ScaleRows(a, row_scale), b), post) in either SIMD
+  // mode.
   ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    std::fill(odata + r0 * m, odata + r1 * m, 0.0);
-    for (int64_t kb = 0; kb < k; kb += kKBlock) {
-      const int64_t kend = std::min(k, kb + kKBlock);
-      for (int64_t i = r0; i < r1; ++i) {
-        const double* arow = adata + i * k;
-        const double si = sdata[i];
-        double* orow = odata + i * m;
-        for (int64_t kk = kb; kk < kend; ++kk) {
-          const double av = arow[kk] * si;
-          if (av == 0.0) continue;
-          const double* brow = bdata + kk * m;
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
-    for (int64_t idx = r0 * m; idx < r1 * m; ++idx) odata[idx] *= post;
+    kt.gemm(adata + r0 * k, k, bdata, m, odata + r0 * m, m, r1 - r0, k, m,
+            sdata + r0, post);
   });
   return out;
 }
@@ -229,11 +174,11 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
   const double* adata = a.data();
   const double* bdata = b.data();
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, a.size(), kElementwiseGrain,
               [&](int64_t begin, int64_t end) {
-                for (int64_t i = begin; i < end; ++i) {
-                  odata[i] = adata[i] * bdata[i];
-                }
+                kt.hadamard(odata + begin, adata + begin, bdata + begin,
+                            end - begin);
               });
   return out;
 }
@@ -283,22 +228,21 @@ Matrix Relu(const Matrix& a) {
 }
 
 // Row-wise kernels parallelize over rows: every output element is a
-// reduction along one row, computed entirely inside one chunk in index
-// order, so any thread count produces identical bits. Column-wise
-// reductions (ColSum/ColMean) stay serial — chunk-local partial sums
-// would make the reduction order depend on the thread count.
+// reduction along one row, computed entirely inside one chunk with the
+// active table's fixed lane order, so any thread count produces
+// identical bits. Column-wise reductions (ColSum/ColMean) stay serial —
+// chunk-local partial sums would make the reduction order depend on
+// the thread count.
 
 Matrix RowSum(const Matrix& a) {
   const int64_t cols = a.cols();
   Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const double* arow = adata + i * cols;
-      double sum = 0.0;
-      for (int64_t j = 0; j < cols; ++j) sum += arow[j];
-      odata[i] = sum;
+      odata[i] = kt.sum(adata + i * cols, cols);
     }
   });
   return out;
@@ -348,12 +292,10 @@ Matrix RowNorms(const Matrix& a) {
   Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const double* arow = adata + i * cols;
-      double sum = 0.0;
-      for (int64_t j = 0; j < cols; ++j) sum += arow[j] * arow[j];
-      odata[i] = std::sqrt(sum);
+      odata[i] = std::sqrt(kt.sumsq(adata + i * cols, cols));
     }
   });
   return out;
@@ -363,15 +305,14 @@ Matrix RowNormalize(const Matrix& a, double eps) {
   const int64_t cols = a.cols();
   Matrix out = a;
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
+  // Same sumsq kernel as RowNorms, so both see the same norm bits.
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       double* orow = odata + i * cols;
-      double sum = 0.0;
-      for (int64_t j = 0; j < cols; ++j) sum += orow[j] * orow[j];
-      const double norm = std::sqrt(sum);
+      const double norm = std::sqrt(kt.sumsq(orow, cols));
       if (norm < eps) continue;
-      const double inv = 1.0 / norm;
-      for (int64_t j = 0; j < cols; ++j) orow[j] *= inv;
+      kt.scale(orow, cols, 1.0 / norm);
     }
   });
   return out;
@@ -436,10 +377,10 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   Matrix out = a;
   const double* rdata = row.data();
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      double* orow = odata + i * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] += rdata[j];
+      kt.add(odata + i * cols, rdata, cols);
     }
   });
   return out;
@@ -451,11 +392,10 @@ Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
   Matrix out = a;
   const double* sdata = scale.data();
   double* odata = out.data();
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const double s = sdata[i];
-      double* orow = odata + i * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] *= s;
+      kt.scale(odata + i * cols, cols, sdata[i]);
     }
   });
   return out;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <new>
 #include <vector>
 
 #include "common/check.h"
@@ -12,6 +13,21 @@
 namespace gradgcl {
 
 namespace {
+
+// Every matrix buffer — pooled or plain heap — is allocated 64-byte
+// aligned so the SIMD kernels (tensor/simd.h) can rely on cache-line-
+// aligned base pointers. Alignment must match between allocation and
+// deallocation (aligned operator delete).
+constexpr std::align_val_t kBufferAlignment{64};
+
+double* AlignedAlloc(size_t n) {
+  return static_cast<double*>(
+      ::operator new(n * sizeof(double), kBufferAlignment));
+}
+
+void AlignedFree(double* ptr) noexcept {
+  ::operator delete(ptr, kBufferAlignment);
+}
 
 // Smallest bucket: 32 doubles (256 bytes). Anything smaller rounds up;
 // the waste is capped and tiny matrices (scalars, n x 1 coefficient
@@ -112,7 +128,7 @@ double* MatrixPool::Acquire(size_t n, size_t* capacity) {
   }
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   g_heap_bytes.fetch_add(cap * sizeof(double), std::memory_order_relaxed);
-  return new double[cap];
+  return AlignedAlloc(cap);
 }
 
 void MatrixPool::Release(double* ptr, size_t capacity) noexcept {
@@ -124,10 +140,10 @@ void MatrixPool::Release(double* ptr, size_t capacity) noexcept {
 double* MatrixPool::HeapAlloc(size_t n) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   g_heap_bytes.fetch_add(n * sizeof(double), std::memory_order_relaxed);
-  return new double[n];
+  return AlignedAlloc(n);
 }
 
-void MatrixPool::HeapFree(double* ptr) noexcept { delete[] ptr; }
+void MatrixPool::HeapFree(double* ptr) noexcept { AlignedFree(ptr); }
 
 PoolStats MatrixPool::stats() const {
   PoolStats s;
@@ -148,7 +164,7 @@ void MatrixPool::ResetStats() {
 void MatrixPool::Trim() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (std::vector<double*>& bucket : impl_->buckets) {
-    for (double* ptr : bucket) delete[] ptr;
+    for (double* ptr : bucket) AlignedFree(ptr);
     bucket.clear();
   }
 }

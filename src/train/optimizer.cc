@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
+
 namespace gradgcl {
 
 Optimizer::Optimizer(std::vector<Variable> params)
@@ -72,24 +74,24 @@ Adam::Adam(std::vector<Variable> params, double lr, double beta1, double beta2,
 
 void Adam::Step() {
   ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, t_);
-  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  // The per-element update runs on the active SIMD table; the kernel is
+  // mul/add/div/sqrt only (no FMA), so the trajectory is bit-identical
+  // whether SIMD is on or off.
+  simd::AdamArgs args;
+  args.beta1 = beta1_;
+  args.beta2 = beta2_;
+  args.bc1 = 1.0 - std::pow(beta1_, t_);
+  args.bc2 = 1.0 - std::pow(beta2_, t_);
+  args.lr = lr_;
+  args.eps = eps_;
+  args.weight_decay = weight_decay_;
+  const simd::KernelTable& kt = simd::Active();
   for (size_t k = 0; k < params_.size(); ++k) {
     Variable& p = params_[k];
     const Matrix& g = p.grad();
     Matrix value = p.value();
-    for (int i = 0; i < value.size(); ++i) {
-      const double gi = g.at_flat(i);
-      double& mi = m_[k].at_flat(i);
-      double& vi = v_[k].at_flat(i);
-      mi = beta1_ * mi + (1.0 - beta1_) * gi;
-      vi = beta2_ * vi + (1.0 - beta2_) * gi * gi;
-      const double m_hat = mi / bc1;
-      const double v_hat = vi / bc2;
-      double delta = m_hat / (std::sqrt(v_hat) + eps_);
-      if (weight_decay_ > 0.0) delta += weight_decay_ * value.at_flat(i);
-      value.at_flat(i) -= lr_ * delta;
-    }
+    kt.adam(value.data(), m_[k].data(), v_[k].data(), g.data(), value.size(),
+            args);
     p.set_value(std::move(value));
   }
 }

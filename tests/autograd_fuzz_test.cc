@@ -15,6 +15,7 @@
 #include "autograd/ops.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
+#include "tensor/simd.h"
 
 namespace gradgcl {
 namespace {
@@ -184,18 +185,28 @@ Variable FusedKernelExpression(int kernel, const VarList& inputs, int n,
 }
 
 class FusedKernelFuzz
-    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, bool>> {
  protected:
-  void SetUp() override { pooled_ = PoolingEnabled(); }
-  void TearDown() override { SetPoolingEnabled(pooled_); }
+  void SetUp() override {
+    pooled_ = PoolingEnabled();
+    simd_ = simd::Enabled();
+  }
+  void TearDown() override {
+    SetPoolingEnabled(pooled_);
+    simd::SetEnabled(simd_);
+  }
 
  private:
   bool pooled_ = false;
+  bool simd_ = true;
 };
 
 TEST_P(FusedKernelFuzz, FusedKernelsGradCheck) {
-  const auto [seed, pooled] = GetParam();
+  const auto [seed, pooled, simd_on] = GetParam();
   SetPoolingEnabled(pooled);
+  // The SIMD leg drives gradcheck through the vectorized fused kernels
+  // (FMA-chain GEMM, laned dots); the scalar leg pins the fallback.
+  simd::SetEnabled(simd_on);
 
   Rng init(seed * 104729 + 7);
   const int n = 3 + init.UniformInt(3);
@@ -230,10 +241,12 @@ TEST_P(FusedKernelFuzz, FusedKernelsGradCheck) {
 
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndPooling, FusedKernelFuzz,
-    ::testing::Combine(::testing::Range<uint64_t>(0, 8), ::testing::Bool()),
+    ::testing::Combine(::testing::Range<uint64_t>(0, 8), ::testing::Bool(),
+                       ::testing::Bool()),
     [](const ::testing::TestParamInfo<FusedKernelFuzz::ParamType>& info) {
       return "Seed" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "Pooled" : "Unpooled");
+             (std::get<1>(info.param) ? "Pooled" : "Unpooled") +
+             (std::get<2>(info.param) ? "Simd" : "NoSimd");
     });
 
 }  // namespace

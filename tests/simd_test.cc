@@ -1,0 +1,458 @@
+// Pins the SIMD layer's contracts (tensor/simd.h): runtime dispatch and
+// the GRADGCL_SIMD kill-switch, the per-table rounding specs (FMA chain
+// per GEMM element, laned dot combination), SIMD-vs-scalar agreement,
+// bitwise elementwise/Adam invariance across tables, fused == unfused
+// in either SIMD mode, NaN propagation (no zero-skip short-circuits),
+// and the 64-byte buffer alignment the kernels rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/simd.h"
+
+namespace gradgcl {
+namespace {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(NumThreads()) {}
+  ~ThreadGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(simd::Enabled()) {}
+  ~SimdGuard() { simd::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Vector width of the table's dot/sum lane split (1 = sequential).
+int LaneWidth(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kAvx2:
+      return 4;
+    case simd::Isa::kNeon:
+      return 2;
+    case simd::Isa::kScalar:
+      return 1;
+  }
+  return 1;
+}
+
+void ExpectBitIdentical(const Matrix& actual, const Matrix& expected,
+                        const char* what) {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(double) * actual.size()),
+            0)
+      << what;
+}
+
+double MaxRelDiff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (int i = 0; i < a.size(); ++i) {
+    const double scale =
+        std::max({1.0, std::abs(a.at_flat(i)), std::abs(b.at_flat(i))});
+    worst = std::max(worst, std::abs(a.at_flat(i) - b.at_flat(i)) / scale);
+  }
+  return worst;
+}
+
+// Reference for the documented gemm/gemm_transa element rounding: one
+// chain per element, k ascending — plain mul+add for the scalar table,
+// single-rounded FMA steps for the vector tables.
+Matrix RefMatMul(const Matrix& a, const Matrix& b, bool fma) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < a.cols(); ++kk) {
+        acc = fma ? std::fma(a(i, kk), b(kk, j), acc)
+                  : acc + a(i, kk) * b(kk, j);
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+// Same chain with the row scale rounded into a(i, kk) first and `post`
+// applied once after the accumulation completes — the documented
+// ScaleRowsMatMulScaled element rounding.
+Matrix RefScaleRowsMatMul(const Matrix& a, const Matrix& row_scale,
+                          const Matrix& b, double post, bool fma) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < a.cols(); ++kk) {
+        const double av = a(i, kk) * row_scale(i, 0);
+        acc = fma ? std::fma(av, b(kk, j), acc) : acc + av * b(kk, j);
+      }
+      out(i, j) = (post == 1.0) ? acc : acc * post;
+    }
+  }
+  return out;
+}
+
+// Reference for the documented dot rounding at lane width W: W chains
+// stepping by W (FMA per step), combined ((l0+l1)+(l2+l3)) for W = 4 /
+// l0+l1 for W = 2, ordered std::fma tail. W = 1 is the scalar table's
+// sequential mul+add.
+double RefDot(const double* x, const double* y, int64_t n, int w) {
+  if (w <= 1) {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+  std::vector<double> lane(w, 0.0);
+  const int64_t main = n - n % w;
+  for (int64_t i = 0; i < main; i += w) {
+    for (int l = 0; l < w; ++l) lane[l] = std::fma(x[i + l], y[i + l], lane[l]);
+  }
+  double s = (w == 4) ? (lane[0] + lane[1]) + (lane[2] + lane[3])
+                      : lane[0] + lane[1];
+  for (int64_t i = main; i < n; ++i) s = std::fma(x[i], y[i], s);
+  return s;
+}
+
+// Same lane split for sum (adds, plain tail).
+double RefSum(const double* x, int64_t n, int w) {
+  if (w <= 1) {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += x[i];
+    return s;
+  }
+  std::vector<double> lane(w, 0.0);
+  const int64_t main = n - n % w;
+  for (int64_t i = 0; i < main; i += w) {
+    for (int l = 0; l < w; ++l) lane[l] += x[i + l];
+  }
+  double s = (w == 4) ? (lane[0] + lane[1]) + (lane[2] + lane[3])
+                      : lane[0] + lane[1];
+  for (int64_t i = main; i < n; ++i) s += x[i];
+  return s;
+}
+
+// Shapes exercising every microkernel edge: sub-tile rows (< 4),
+// partial column tiles (m % 8), k panel remainders (k % 128), and the
+// pure-remainder corners.
+struct GemmShape {
+  int n, k, m;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {3, 5, 7},     {4, 8, 8},     {5, 9, 17},
+    {2, 130, 3}, {13, 127, 31}, {67, 129, 43}, {16, 256, 24},
+};
+
+// --- Dispatch ---------------------------------------------------------------
+
+TEST(SimdDispatchTest, KillSwitchForcesScalarTable) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  EXPECT_TRUE(simd::Enabled());
+  EXPECT_EQ(simd::ActiveIsa(), simd::CompiledIsa());
+  EXPECT_EQ(simd::Active().isa, simd::CompiledIsa());
+  simd::SetEnabled(false);
+  EXPECT_FALSE(simd::Enabled());
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  EXPECT_EQ(simd::Active().isa, simd::Isa::kScalar);
+}
+
+TEST(SimdDispatchTest, IsaNamesAreStable) {
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kNeon), "neon");
+}
+
+TEST(SimdDispatchTest, IsAligned64) {
+  alignas(64) double buf[16] = {};
+  EXPECT_TRUE(simd::IsAligned64(buf));
+  EXPECT_FALSE(simd::IsAligned64(buf + 1));
+  EXPECT_TRUE(simd::IsAligned64(nullptr));
+}
+
+// --- GEMM rounding contracts ------------------------------------------------
+
+TEST(SimdGemmTest, MatMulMatchesDocumentedChainBitwise) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  const bool fma = simd::ActiveIsa() != simd::Isa::kScalar;
+  Rng rng(101);
+  for (const GemmShape& s : kGemmShapes) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, rng);
+    ExpectBitIdentical(MatMul(a, b), RefMatMul(a, b, fma), "MatMul chain");
+  }
+}
+
+TEST(SimdGemmTest, MatMulTransAMatchesDocumentedChainBitwise) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  const bool fma = simd::ActiveIsa() != simd::Isa::kScalar;
+  Rng rng(102);
+  for (const GemmShape& s : kGemmShapes) {
+    const Matrix a = Matrix::RandomNormal(s.k, s.n, rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, rng);
+    ExpectBitIdentical(MatMulTransA(a, b), RefMatMul(a.Transposed(), b, fma),
+                       "MatMulTransA chain");
+  }
+}
+
+TEST(SimdGemmTest, ScaleRowsMatMulScaledMatchesDocumentedChainBitwise) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  const bool fma = simd::ActiveIsa() != simd::Isa::kScalar;
+  Rng rng(103);
+  for (const GemmShape& s : kGemmShapes) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, rng);
+    const Matrix rs = Matrix::RandomNormal(s.n, 1, rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, rng);
+    ExpectBitIdentical(ScaleRowsMatMulScaled(a, rs, b, 0.25),
+                       RefScaleRowsMatMul(a, rs, b, 0.25, fma),
+                       "ScaleRowsMatMulScaled chain");
+  }
+}
+
+TEST(SimdGemmTest, MatMulTransBMatchesLanedDotBitwise) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  const int w = LaneWidth(simd::ActiveIsa());
+  Rng rng(104);
+  for (const GemmShape& s : kGemmShapes) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, rng);
+    const Matrix b = Matrix::RandomNormal(s.m, s.k, rng);
+    const Matrix got = MatMulTransBScaled(a, b, 0.7);
+    Matrix want(s.n, s.m);
+    for (int i = 0; i < s.n; ++i) {
+      for (int j = 0; j < s.m; ++j) {
+        want(i, j) =
+            RefDot(a.data() + int64_t{i} * s.k, b.data() + int64_t{j} * s.k,
+                   s.k, w) *
+            0.7;
+      }
+    }
+    ExpectBitIdentical(got, want, "MatMulTransBScaled laned dot");
+  }
+}
+
+TEST(SimdReductionTest, RowSumMatchesLanedSumBitwise) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  const int w = LaneWidth(simd::ActiveIsa());
+  Rng rng(105);
+  const Matrix a = Matrix::RandomNormal(9, 131, rng);
+  const Matrix got = RowSum(a);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double want = RefSum(a.data() + int64_t{i} * a.cols(), a.cols(), w);
+    EXPECT_EQ(got(i, 0), want) << "row " << i;
+  }
+}
+
+// --- SIMD-vs-scalar agreement -----------------------------------------------
+
+// Different (but fixed) reduction orders: the tables agree to tight
+// relative tolerance on every shape, including pure-remainder corners.
+TEST(SimdAgreementTest, GemmKernelsAgreeWithScalarTable) {
+  SimdGuard guard;
+  Rng rng(106);
+  for (const GemmShape& s : kGemmShapes) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, rng);
+    const Matrix bt = Matrix::RandomNormal(s.m, s.k, rng);
+    const Matrix at = Matrix::RandomNormal(s.k, s.n, rng);
+    const Matrix rs = Matrix::RandomNormal(s.n, 1, rng);
+    simd::SetEnabled(true);
+    const Matrix mm = MatMul(a, b);
+    const Matrix ta = MatMulTransA(at, b);
+    const Matrix tb = MatMulTransB(a, bt);
+    const Matrix sr = ScaleRowsMatMulScaled(a, rs, b, 0.5);
+    simd::SetEnabled(false);
+    EXPECT_LT(MaxRelDiff(mm, MatMul(a, b)), 1e-13);
+    EXPECT_LT(MaxRelDiff(ta, MatMulTransA(at, b)), 1e-13);
+    EXPECT_LT(MaxRelDiff(tb, MatMulTransB(a, bt)), 1e-13);
+    EXPECT_LT(MaxRelDiff(sr, ScaleRowsMatMulScaled(a, rs, b, 0.5)), 1e-13);
+  }
+}
+
+// Elementwise kernels are mul/add/sub only — bit-identical across
+// tables, not just close.
+TEST(SimdAgreementTest, ElementwiseKernelsBitIdenticalAcrossTables) {
+  SimdGuard guard;
+  Rng rng(107);
+  const Matrix a = Matrix::RandomNormal(13, 41, rng);  // odd tail
+  const Matrix b = Matrix::RandomNormal(13, 41, rng);
+  simd::SetEnabled(true);
+  Matrix sum_on = a;
+  sum_on += b;
+  Matrix diff_on = a;
+  diff_on -= b;
+  Matrix scaled_on = a;
+  scaled_on *= 1.7;
+  const Matrix had_on = Hadamard(a, b);
+  simd::SetEnabled(false);
+  Matrix sum_off = a;
+  sum_off += b;
+  Matrix diff_off = a;
+  diff_off -= b;
+  Matrix scaled_off = a;
+  scaled_off *= 1.7;
+  ExpectBitIdentical(sum_on, sum_off, "operator+=");
+  ExpectBitIdentical(diff_on, diff_off, "operator-=");
+  ExpectBitIdentical(scaled_on, scaled_off, "operator*=");
+  ExpectBitIdentical(had_on, Hadamard(a, b), "Hadamard");
+}
+
+// The Adam update is mul/add/div/sqrt only: the whole training
+// trajectory is bit-identical whether SIMD is on or off.
+TEST(SimdAgreementTest, AdamKernelBitIdenticalAcrossTables) {
+  SimdGuard guard;
+  Rng rng(108);
+  const int64_t n = 1031;  // odd: exercises the vector kernels' tails
+  const Matrix w0 = Matrix::RandomNormal(1, static_cast<int>(n), rng);
+  const Matrix m0 = Matrix::RandomNormal(1, static_cast<int>(n), rng, 0, 0.1);
+  const Matrix v0 = Abs(Matrix::RandomNormal(1, static_cast<int>(n), rng));
+  const Matrix g = Matrix::RandomNormal(1, static_cast<int>(n), rng);
+  simd::AdamArgs args;
+  args.bc1 = 1.0 - 0.9 * 0.9;
+  args.bc2 = 1.0 - 0.999 * 0.999;
+  args.weight_decay = 1e-4;
+  auto run = [&](bool enabled) {
+    simd::SetEnabled(enabled);
+    Matrix w = w0, m = m0, v = v0;
+    simd::Active().adam(w.data(), m.data(), v.data(), g.data(), n, args);
+    return std::vector<Matrix>{w, m, v};
+  };
+  const std::vector<Matrix> on = run(true);
+  const std::vector<Matrix> off = run(false);
+  ExpectBitIdentical(on[0], off[0], "adam weights");
+  ExpectBitIdentical(on[1], off[1], "adam first moment");
+  ExpectBitIdentical(on[2], off[2], "adam second moment");
+}
+
+// --- Thread-count invariance with SIMD pinned on ----------------------------
+
+TEST(SimdThreadTest, GemmBitIdenticalAcrossThreadCounts) {
+  SimdGuard simd_guard;
+  ThreadGuard thread_guard;
+  simd::SetEnabled(true);
+  Rng rng(109);
+  const Matrix a = Matrix::RandomNormal(67, 129, rng);
+  const Matrix b = Matrix::RandomNormal(129, 43, rng);
+  const Matrix bt = Matrix::RandomNormal(43, 129, rng);
+  const Matrix rs = Matrix::RandomNormal(67, 1, rng);
+  SetNumThreads(1);
+  const Matrix mm = MatMul(a, b);
+  const Matrix tb = MatMulTransBScaled(a, bt, 0.3);
+  const Matrix sr = ScaleRowsMatMulScaled(a, rs, b, 2.0);
+  for (int threads : {2, 4}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(MatMul(a, b), mm, "MatMul across threads");
+    ExpectBitIdentical(MatMulTransBScaled(a, bt, 0.3), tb,
+                       "MatMulTransBScaled across threads");
+    ExpectBitIdentical(ScaleRowsMatMulScaled(a, rs, b, 2.0), sr,
+                       "ScaleRowsMatMulScaled across threads");
+  }
+}
+
+// --- Fused == unfused in either SIMD mode -----------------------------------
+
+void ExpectFusedMatchesUnfused() {
+  Rng rng(110);
+  const Matrix a = Matrix::RandomNormal(21, 19, rng);
+  const Matrix b = Matrix::RandomNormal(17, 19, rng);
+  const Matrix c = Matrix::RandomNormal(19, 23, rng);
+  const Matrix rs = Matrix::RandomNormal(21, 1, rng);
+
+  Matrix unfused_tb = MatMulTransB(a, b);
+  unfused_tb *= 0.125;
+  ExpectBitIdentical(MatMulTransBScaled(a, b, 0.125), unfused_tb,
+                     "MatMulTransBScaled vs compose");
+
+  Matrix unfused_sr = MatMul(ScaleRows(a, rs), c);
+  unfused_sr *= 0.75;
+  ExpectBitIdentical(ScaleRowsMatMulScaled(a, rs, c, 0.75), unfused_sr,
+                     "ScaleRowsMatMulScaled vs compose");
+
+  const Matrix s = MatMulTransBScaled(a, a, 0.5);
+  Matrix exp_out, rowsum_out;
+  MaskedExpRowSum(s, &exp_out, &rowsum_out);
+  Matrix masked = Exp(s);
+  for (int i = 0; i < masked.rows(); ++i) masked(i, i) = 0.0;
+  ExpectBitIdentical(exp_out, masked, "MaskedExpRowSum exp vs compose");
+  ExpectBitIdentical(rowsum_out, RowSum(masked),
+                     "MaskedExpRowSum rowsum vs compose");
+}
+
+TEST(SimdFusedTest, FusedMatchesUnfusedWithSimdOn) {
+  SimdGuard guard;
+  simd::SetEnabled(true);
+  ExpectFusedMatchesUnfused();
+}
+
+TEST(SimdFusedTest, FusedMatchesUnfusedWithSimdOff) {
+  SimdGuard guard;
+  simd::SetEnabled(false);
+  ExpectFusedMatchesUnfused();
+}
+
+// --- NaN propagation (zero-skip removal) ------------------------------------
+
+// The old scalar kernels skipped a == 0.0 operands, silently eating
+// 0 * inf = NaN. IEEE semantics now hold in every table.
+TEST(SimdNanTest, ZeroTimesInfPropagatesInEveryTable) {
+  SimdGuard guard;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (bool enabled : {true, false}) {
+    simd::SetEnabled(enabled);
+    const Matrix a{{0.0, 1.0}};
+    const Matrix b{{inf}, {1.0}};
+    EXPECT_TRUE(std::isnan(MatMul(a, b)(0, 0))) << "MatMul, simd=" << enabled;
+
+    const Matrix at{{0.0}, {1.0}};
+    EXPECT_TRUE(std::isnan(MatMulTransA(at, b)(0, 0)))
+        << "MatMulTransA, simd=" << enabled;
+
+    const Matrix sa{{inf, 1.0}};
+    const Matrix srs{{0.0}};
+    const Matrix sb{{1.0}, {1.0}};
+    EXPECT_TRUE(std::isnan(ScaleRowsMatMulScaled(sa, srs, sb, 1.0)(0, 0)))
+        << "ScaleRowsMatMulScaled, simd=" << enabled;
+  }
+}
+
+// --- Buffer alignment -------------------------------------------------------
+
+TEST(SimdAlignmentTest, HeapAndPooledBuffersAre64ByteAligned) {
+  const Matrix heap = Matrix::Zeros(7, 3);
+  EXPECT_TRUE(simd::IsAligned64(heap.data()));
+  TapeScope scope;
+  const Matrix pooled = Matrix::Uninitialized(11, 5);
+  EXPECT_TRUE(simd::IsAligned64(pooled.data()));
+  // A recycled buffer stays aligned too.
+  {
+    Matrix scratch = Matrix::Zeros(11, 5);
+    EXPECT_TRUE(simd::IsAligned64(scratch.data()));
+  }
+  const Matrix reused = Matrix::Uninitialized(11, 5);
+  EXPECT_TRUE(simd::IsAligned64(reused.data()));
+}
+
+}  // namespace
+}  // namespace gradgcl
