@@ -1,0 +1,272 @@
+// Closed-loop load bench for the serving subsystem (src/serve/):
+// N client threads each submit one embedding request at a time and
+// immediately resubmit on completion (closed loop — offered load tracks
+// service capacity, no coordinated-omission artifacts). The bench
+// sweeps client counts and batching deadlines against a fixed frozen
+// session and writes BENCH_serve.json with throughput, latency
+// percentiles (p50/p95/p99 straight from the serve/latency_us
+// histogram), and realized batch sizes.
+//
+// The headline comparison: dynamic micro-batching (max_batch_graphs >
+// 1) vs single-request serving (max_batch_graphs = 1) at 8 closed-loop
+// clients. Batching amortizes the per-forward fixed costs (batch
+// assembly, kernel dispatch, pool handshakes, condvar round-trips)
+// across batch-mates, so batched throughput should be a multiple of
+// the single-request number — "speedup_at_8_clients" in the JSON.
+//
+// Every request's result is checked against a precomputed reference
+// embedding (bitwise), so the bench doubles as a load-level parity
+// test: a throughput number from wrong embeddings is worthless.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "datasets/tu_synthetic.h"
+#include "nn/encoders.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/session.h"
+
+namespace gradgcl {
+namespace {
+
+using serve::EmbeddingEngine;
+using serve::EmbedResult;
+using serve::InferenceSession;
+using serve::ServeOptions;
+using serve::ServeStatus;
+
+constexpr double kRunSeconds = 0.4;  // per rep
+constexpr int kReps = 3;             // best-of, as in bench_micro_ops
+
+struct RunConfig {
+  std::string label;
+  int clients = 1;
+  int max_batch_graphs = 16;
+  double max_wait_micros = 200.0;
+};
+
+struct RunResult {
+  RunConfig config;
+  uint64_t completed = 0;
+  uint64_t mismatched = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  obs::PercentileSummary latency_us;
+  double mean_batch_graphs = 0.0;
+};
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(double) * static_cast<size_t>(a.size())) == 0;
+}
+
+RunResult RunClosedLoop(const InferenceSession& session,
+                        const std::vector<Graph>& graphs,
+                        const std::vector<Matrix>& refs,
+                        const RunConfig& config) {
+  obs::MetricsRegistry::Instance().Reset();
+  ServeOptions opts;
+  opts.num_workers = 1;  // single-core container: one batch executor
+  opts.max_batch_graphs = config.max_batch_graphs;
+  opts.max_wait_micros = config.max_wait_micros;
+  opts.max_queue_graphs = 4 * config.clients;  // bounded, never trips here
+  EmbeddingEngine engine(session, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  Stopwatch wall;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client owns a stripe of prebuilt single-graph requests and
+      // cycles through it — the closed loop measures the serving path,
+      // not the load generator's own graph copies.
+      std::vector<std::vector<Graph>> requests;
+      std::vector<size_t> request_graph;
+      for (size_t g = c; g < graphs.size();
+           g += static_cast<size_t>(config.clients)) {
+        requests.push_back({graphs[g]});
+        request_graph.push_back(g);
+      }
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t k = i % requests.size();
+        EmbedResult r = engine.Embed(requests[k]);
+        if (r.status == ServeStatus::kOk) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (!BitIdentical(r.embeddings, refs[request_graph[k]])) {
+            mismatched.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ++i;
+      }
+    });
+  }
+  // Sleep, don't spin: the load generator must not compete with the
+  // worker for the core.
+  while (wall.ElapsedSeconds() < kRunSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  engine.Shutdown();
+
+  RunResult result;
+  result.config = config;
+  result.completed = completed.load();
+  result.mismatched = mismatched.load();
+  result.seconds = seconds;
+  result.throughput_rps = static_cast<double>(result.completed) / seconds;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+  if (const obs::HistogramData* lat = snap.histogram("serve/latency_us")) {
+    result.latency_us = obs::SummarizePercentiles(*lat);
+  }
+  const uint64_t batches = snap.counter("serve/batches");
+  const uint64_t batched_graphs = snap.counter("serve/graphs");
+  result.mean_batch_graphs =
+      batches > 0 ? static_cast<double>(batched_graphs) / batches : 0.0;
+  return result;
+}
+
+void PrintRow(const RunResult& r) {
+  std::printf("%-22s %7d %9d %9.0f %10llu %10.0f %8.0f %8.0f %8.0f %7.2f\n",
+              r.config.label.c_str(), r.config.clients,
+              r.config.max_batch_graphs, r.config.max_wait_micros,
+              static_cast<unsigned long long>(r.completed), r.throughput_rps,
+              r.latency_us.p50, r.latency_us.p95, r.latency_us.p99,
+              r.mean_batch_graphs);
+}
+
+void WriteJson(const char* path, const std::vector<RunResult>& runs,
+               double speedup_at_8) {
+  std::FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"serve\",\n"
+               "  \"run_seconds\": %.3f,\n"
+               "  \"reps\": %d,\n"
+               "  \"speedup_at_8_clients\": %.4f,\n"
+               "  \"runs\": [\n",
+               kRunSeconds, kReps, speedup_at_8);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        json,
+        "    {\"label\": %s, \"clients\": %d, \"max_batch_graphs\": %d, "
+        "\"max_wait_micros\": %.0f, \"completed\": %llu, "
+        "\"mismatched\": %llu, \"seconds\": %.6f, "
+        "\"throughput_rps\": %.2f, \"latency_us\": "
+        "{\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f}, "
+        "\"mean_batch_graphs\": %.4f}%s\n",
+        JsonString(r.config.label).c_str(), r.config.clients,
+        r.config.max_batch_graphs, r.config.max_wait_micros,
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.mismatched), r.seconds,
+        r.throughput_rps, r.latency_us.p50, r.latency_us.p95,
+        r.latency_us.p99, r.mean_batch_graphs,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace gradgcl
+
+int main() {
+  using namespace gradgcl;
+
+  // Frozen session over the standard bench encoder (GIN, dim 32) and
+  // MUTAG-scale graphs — the small-graph regime where per-request
+  // overhead matters most, i.e. where batching has to earn its keep.
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 64;
+  profile.avg_nodes = 10.0;  // small-graph serving regime
+  const std::vector<Graph> graphs = GenerateTuDataset(profile, 7);
+  EncoderConfig config;
+  config.kind = EncoderKind::kGin;
+  config.in_dim = profile.feature_dim;
+  config.hidden_dim = 16;
+  config.out_dim = 16;
+  config.num_layers = 2;
+  Rng rng(42);
+  GraphEncoder encoder(config, rng);
+  const std::unique_ptr<serve::InferenceSession> session =
+      serve::InferenceSession::FromEncoder(encoder);
+
+  // Reference embedding per graph for load-level parity checking.
+  std::vector<Matrix> refs;
+  refs.reserve(graphs.size());
+  for (const Graph& g : graphs) {
+    refs.push_back(session->EmbedGraphs(std::vector<Graph>{g}));
+  }
+
+  std::vector<RunConfig> sweep;
+  // Baseline: no coalescing — every request is its own batch.
+  sweep.push_back({"single_request", 8, 1, 0.0});
+  // Client scaling with launch-when-free batching (deadline 0: the
+  // worker takes whatever has queued the moment it goes idle).
+  for (int clients : {1, 2, 4, 8}) {
+    sweep.push_back({"batched_c" + std::to_string(clients), clients, 16, 0.0});
+  }
+  // Deadline sweep at 8 clients: with every client blocked in the
+  // closed loop the queue never reaches max_batch_graphs, so a nonzero
+  // deadline stalls each batch for its full wait — the latency /
+  // throughput tradeoff the knob buys.
+  for (double wait : {50.0, 200.0, 1000.0}) {
+    sweep.push_back({"batched_w" + std::to_string(static_cast<int>(wait)), 8,
+                     16, wait});
+  }
+
+  std::printf("%-22s %7s %9s %9s %10s %10s %8s %8s %8s %7s\n", "label",
+              "clients", "max_batch", "wait_us", "completed", "rps", "p50us",
+              "p95us", "p99us", "batch");
+  std::vector<RunResult> runs;
+  uint64_t mismatched_total = 0;
+  for (const RunConfig& config : sweep) {
+    // Best-of-kReps: closed-loop throughput on a single shared core is
+    // at the mercy of the scheduler, so keep the least-disturbed rep.
+    RunResult best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      RunResult r = RunClosedLoop(*session, graphs, refs, config);
+      mismatched_total += r.mismatched;
+      if (rep == 0 || r.throughput_rps > best.throughput_rps) {
+        best = std::move(r);
+      }
+    }
+    runs.push_back(std::move(best));
+    PrintRow(runs.back());
+  }
+
+  double single_rps = 0.0, batched_rps = 0.0;
+  for (const RunResult& r : runs) {
+    if (r.config.label == "single_request") single_rps = r.throughput_rps;
+    if (r.config.label == "batched_c8") batched_rps = r.throughput_rps;
+  }
+  const double speedup = single_rps > 0.0 ? batched_rps / single_rps : 0.0;
+  std::printf("\nbatched vs single-request @ 8 clients: %.2fx\n", speedup);
+  if (mismatched_total > 0) {
+    std::fprintf(stderr, "FAIL: %llu served embeddings mismatched refs\n",
+                 static_cast<unsigned long long>(mismatched_total));
+    return 1;
+  }
+
+  WriteJson("BENCH_serve.json", runs, speedup);
+  return 0;
+}

@@ -694,14 +694,11 @@ Variable GatherRows(const Variable& a, const std::vector<int>& indices) {
 
 Variable SegmentSum(const Variable& a, const std::vector<int>& segments,
                     int num_segments) {
-  GRADGCL_CHECK(static_cast<int>(segments.size()) == a.rows());
-  Matrix out(num_segments, a.cols(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const int s = segments[i];
-    GRADGCL_CHECK(s >= 0 && s < num_segments);
-    for (int j = 0; j < a.cols(); ++j) out(s, j) += a.value()(i, j);
-  }
-  return Variable::MakeOp(std::move(out), {a}, [segments](Node& out_node) {
+  // Forward through the raw kernel so the tape-free serving path
+  // (serve/session.cc) shares its bits by construction.
+  return Variable::MakeOp(gradgcl::SegmentSum(a.value(), segments,
+                                              num_segments),
+                          {a}, [segments](Node& out_node) {
     if (!NeedsGrad(out_node.parents[0])) return;
     const Matrix& x = out_node.parents[0]->value;
     Matrix g(x.rows(), x.cols());
@@ -714,25 +711,14 @@ Variable SegmentSum(const Variable& a, const std::vector<int>& segments,
 
 Variable SegmentMean(const Variable& a, const std::vector<int>& segments,
                      int num_segments) {
-  GRADGCL_CHECK(static_cast<int>(segments.size()) == a.rows());
   std::vector<double> counts(num_segments, 0.0);
   for (int s : segments) {
     GRADGCL_CHECK(s >= 0 && s < num_segments);
     counts[s] += 1.0;
   }
-  Matrix out(num_segments, a.cols(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const int s = segments[i];
-    for (int j = 0; j < a.cols(); ++j) out(s, j) += a.value()(i, j);
-  }
-  for (int s = 0; s < num_segments; ++s) {
-    if (counts[s] > 0.0) {
-      const double inv = 1.0 / counts[s];
-      for (int j = 0; j < a.cols(); ++j) out(s, j) *= inv;
-    }
-  }
   return Variable::MakeOp(
-      std::move(out), {a}, [segments, counts](Node& out_node) {
+      gradgcl::SegmentMean(a.value(), segments, num_segments), {a},
+      [segments, counts](Node& out_node) {
         if (!NeedsGrad(out_node.parents[0])) return;
         const Matrix& x = out_node.parents[0]->value;
         Matrix g(x.rows(), x.cols());

@@ -88,4 +88,9 @@ GraphBatch MakeBatch(const std::vector<Graph>& graphs,
   return MakeBatchImpl(ptrs);
 }
 
+GraphBatch MakeBatch(const std::vector<const Graph*>& graphs) {
+  for (const Graph* g : graphs) GRADGCL_CHECK(g != nullptr);
+  return MakeBatchImpl(graphs);
+}
+
 }  // namespace gradgcl

@@ -35,6 +35,11 @@ GraphBatch MakeBatch(const std::vector<Graph>& graphs);
 GraphBatch MakeBatch(const std::vector<Graph>& graphs,
                      const std::vector<int>& indices);
 
+// Builds a batch from non-owning pointers (no nulls). Lets callers that
+// gather graphs from several sources (the serving micro-batcher
+// coalescing concurrent requests) batch without copying each Graph.
+GraphBatch MakeBatch(const std::vector<const Graph*>& graphs);
+
 }  // namespace gradgcl
 
 #endif  // GRADGCL_GRAPH_BATCH_H_

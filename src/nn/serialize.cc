@@ -52,6 +52,15 @@ bool LoadStateFile(const std::string& path, std::vector<Matrix>* state) {
   state->clear();
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
+  // Snapshot files may be untrusted: every header field is validated
+  // against the actual file size BEFORE any allocation, so a corrupt
+  // header (negative or overflowing rows·cols, inflated tensor count,
+  // truncated payload) yields a clean `false` instead of a huge or
+  // overflowed allocation.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) return false;
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0) return false;
+  int64_t remaining = static_cast<int64_t>(file_size) - 12;  // fixed header
   char magic[4];
   if (std::fread(magic, 1, 4, f.get()) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
@@ -60,6 +69,8 @@ bool LoadStateFile(const std::string& path, std::vector<Matrix>* state) {
   int32_t version = 0, count = 0;
   if (!ReadI32(f.get(), &version) || version != kVersion) return false;
   if (!ReadI32(f.get(), &count) || count < 0) return false;
+  // Each tensor costs at least its 8-byte rows/cols header.
+  if (static_cast<int64_t>(count) * 8 > remaining) return false;
   state->reserve(count);
   for (int32_t k = 0; k < count; ++k) {
     int32_t rows = 0, cols = 0;
@@ -68,12 +79,24 @@ bool LoadStateFile(const std::string& path, std::vector<Matrix>* state) {
       state->clear();
       return false;
     }
-    Matrix m(rows, cols);
-    const size_t n = static_cast<size_t>(m.size());
-    if (n > 0 && std::fread(m.data(), sizeof(double), n, f.get()) != n) {
+    remaining -= 8;
+    // Element count in 64-bit: rows·cols up to 2^62 cannot overflow.
+    // Compare against remaining/8 (exact for integers) rather than n*8,
+    // which could itself overflow for n near 2^62. The payload must
+    // actually be present in the file before anything is allocated.
+    const int64_t n = static_cast<int64_t>(rows) * cols;
+    if (n > remaining / static_cast<int64_t>(sizeof(double))) {
       state->clear();
       return false;
     }
+    Matrix m = Matrix::Uninitialized(rows, cols);
+    if (n > 0 && std::fread(m.data(), sizeof(double),
+                            static_cast<size_t>(n),
+                            f.get()) != static_cast<size_t>(n)) {
+      state->clear();
+      return false;
+    }
+    remaining -= n * static_cast<int64_t>(sizeof(double));
     state->push_back(std::move(m));
   }
   return true;

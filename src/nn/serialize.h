@@ -20,7 +20,9 @@ namespace gradgcl {
 bool SaveState(const std::string& path, const std::vector<Matrix>& state);
 
 // Reads a state written by SaveState. Returns false on I/O failure or
-// format mismatch (leaving `state` empty).
+// format mismatch (leaving `state` empty). Safe on untrusted input:
+// header fields are validated against the file size before any
+// allocation, so corrupt counts/shapes/truncations fail cleanly.
 bool LoadStateFile(const std::string& path, std::vector<Matrix>* state);
 
 // Convenience: save / restore a module's parameters directly.

@@ -253,6 +253,39 @@ void Histogram::Observe(double value) {
       1, std::memory_order_relaxed);
 }
 
+double HistogramPercentile(const HistogramData& h, double p) {
+  if (h.total == 0 || h.upper_edges.empty()) return 0.0;
+  if (p > 100.0) p = 100.0;
+  if (p < 0.0) p = 0.0;
+  const double rank = p / 100.0 * static_cast<double>(h.total);
+  const size_t num_edges = h.upper_edges.size();
+  double cum_before = 0.0;
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    const double count = static_cast<double>(h.counts[i]);
+    if (count == 0.0) continue;
+    if (cum_before + count >= rank) {
+      if (i >= num_edges) {
+        // Overflow bucket: no finite upper bound to interpolate towards.
+        return h.upper_edges.back();
+      }
+      const double upper = h.upper_edges[i];
+      const double lower =
+          i == 0 ? (upper > 0.0 ? 0.0 : upper) : h.upper_edges[i - 1];
+      return lower + (upper - lower) * (rank - cum_before) / count;
+    }
+    cum_before += count;
+  }
+  return h.upper_edges.back();
+}
+
+PercentileSummary SummarizePercentiles(const HistogramData& h) {
+  PercentileSummary s;
+  s.p50 = HistogramPercentile(h, 50.0);
+  s.p95 = HistogramPercentile(h, 95.0);
+  s.p99 = HistogramPercentile(h, 99.0);
+  return s;
+}
+
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;

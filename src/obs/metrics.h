@@ -90,6 +90,29 @@ struct HistogramData {
   uint64_t total = 0;               // sum of counts
 };
 
+// Estimated value at percentile p (0 < p <= 100) of a merged histogram,
+// with linear interpolation inside the containing bucket (observations
+// are assumed uniform within a bucket, the Prometheus
+// histogram_quantile convention). Semantics pinned by tests/obs_test.cc:
+//  * Bucket i covers (upper_edges[i-1], upper_edges[i]]; bucket 0's
+//    lower bound is min(0, upper_edges[0]) — 0 for the usual
+//    positive-edge latency histograms.
+//  * The target rank is p/100 * total; the estimate is
+//    lower + (upper - lower) * (rank - cum_before) / bucket_count.
+//  * Ranks landing in the overflow bucket clamp to the last finite
+//    edge (there is no upper bound to interpolate towards).
+//  * An empty histogram (total == 0) returns 0.
+double HistogramPercentile(const HistogramData& h, double p);
+
+// The three summary percentiles served by the inference engine
+// (serve/latency, batch size); shorthand over HistogramPercentile.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+PercentileSummary SummarizePercentiles(const HistogramData& h);
+
 // Consistent-enough merged view of the registry (relaxed reads; exact
 // once all writer threads are quiescent, e.g. at a step boundary).
 struct MetricsSnapshot {

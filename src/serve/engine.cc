@@ -1,0 +1,248 @@
+#include "serve/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.h"
+#include "tensor/pool.h"
+
+namespace gradgcl::serve {
+
+namespace {
+
+// Histogram edges are process-wide constants: re-registering the same
+// metric name requires identical edges, and every engine instance in a
+// process shares these.
+const std::vector<double>& LatencyEdgesUs() {
+  static const std::vector<double>* edges = new std::vector<double>{
+      10.0,    20.0,    50.0,     100.0,    200.0,    500.0,
+      1000.0,  2000.0,  5000.0,   10000.0,  20000.0,  50000.0,
+      100000.0, 200000.0, 500000.0, 1000000.0};
+  return *edges;
+}
+
+const std::vector<double>& BatchSizeEdges() {
+  static const std::vector<double>* edges = new std::vector<double>{
+      1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+  return *edges;
+}
+
+std::chrono::steady_clock::duration MicrosDuration(double micros) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(micros));
+}
+
+}  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+EmbeddingEngine::EmbeddingEngine(const InferenceSession& session,
+                                 const ServeOptions& options)
+    : session_(session),
+      options_(options),
+      requests_total_(
+          obs::MetricsRegistry::Instance().GetCounter("serve/requests")),
+      rejected_total_(
+          obs::MetricsRegistry::Instance().GetCounter("serve/rejected")),
+      batches_total_(
+          obs::MetricsRegistry::Instance().GetCounter("serve/batches")),
+      graphs_total_(
+          obs::MetricsRegistry::Instance().GetCounter("serve/graphs")),
+      queue_depth_(
+          obs::MetricsRegistry::Instance().GetGauge("serve/queue_depth")),
+      latency_us_(obs::MetricsRegistry::Instance().GetHistogram(
+          "serve/latency_us", LatencyEdgesUs())),
+      batch_graphs_(obs::MetricsRegistry::Instance().GetHistogram(
+          "serve/batch_graphs", BatchSizeEdges())) {
+  GRADGCL_CHECK(options_.num_workers >= 0);
+  GRADGCL_CHECK(options_.max_batch_graphs >= 1);
+  GRADGCL_CHECK(options_.max_queue_graphs >= 1);
+  GRADGCL_CHECK(options_.max_wait_micros >= 0.0);
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EmbeddingEngine::~EmbeddingEngine() { Shutdown(); }
+
+EmbedResult EmbeddingEngine::Embed(const std::vector<Graph>& graphs) {
+  GRADGCL_CHECK_MSG(!graphs.empty(), "Embed needs >= 1 graph");
+  Request req;
+  req.graphs = &graphs;
+  req.arrival = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_total_.Add(1);
+      return EmbedResult{ServeStatus::kShutdown, Matrix()};
+    }
+    if (queued_graphs_ + static_cast<int>(graphs.size()) >
+        options_.max_queue_graphs) {
+      rejected_total_.Add(1);
+      return EmbedResult{ServeStatus::kOverloaded, Matrix()};
+    }
+    queue_.push_back(&req);
+    queued_graphs_ += static_cast<int>(graphs.size());
+    queue_depth_.Set(queued_graphs_);
+    work_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return req.done; });
+  }
+  latency_us_.Observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - req.arrival)
+                          .count());
+  requests_total_.Add(1);
+  EmbedResult out;
+  out.status = req.status;
+  out.embeddings = std::move(req.result);
+  return out;
+}
+
+void EmbeddingEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    if (stopping_ && options_.cancel_pending_on_shutdown) {
+      CancelQueueLocked();
+      continue;
+    }
+    if (!stopping_ && queued_graphs_ < options_.max_batch_graphs) {
+      // Not full yet: give the batch until the oldest request's
+      // deadline to fill up, then launch whatever is pending.
+      const auto deadline =
+          queue_.front()->arrival + MicrosDuration(options_.max_wait_micros);
+      if (std::chrono::steady_clock::now() < deadline) {
+        work_cv_.wait_until(lock, deadline);
+        continue;  // re-evaluate: filled up, cancelled, or deadline hit
+      }
+    }
+    const std::vector<Request*> batch = PopBatchLocked();
+    lock.unlock();
+    ExecuteBatch(batch);
+    lock.lock();
+  }
+}
+
+std::vector<EmbeddingEngine::Request*> EmbeddingEngine::PopBatchLocked() {
+  std::vector<Request*> batch;
+  int graphs = 0;
+  while (!queue_.empty() && graphs < options_.max_batch_graphs) {
+    Request* r = queue_.front();
+    const int n = static_cast<int>(r->graphs->size());
+    // Whole requests only; an oversized first request runs alone.
+    if (!batch.empty() && graphs + n > options_.max_batch_graphs) break;
+    queue_.pop_front();
+    batch.push_back(r);
+    graphs += n;
+  }
+  queued_graphs_ -= graphs;
+  queue_depth_.Set(queued_graphs_);
+  return batch;
+}
+
+void EmbeddingEngine::ExecuteBatch(const std::vector<Request*>& batch) {
+  obs::TraceScope span("serve/batch");
+  // Pooled storage for batch assembly + forward: steady-state serving
+  // allocates no matrix buffers from the heap.
+  TapeScope tape;
+  int total = 0;
+  for (const Request* r : batch) {
+    total += static_cast<int>(r->graphs->size());
+  }
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(total);
+  for (const Request* r : batch) {
+    for (const Graph& g : *r->graphs) ptrs.push_back(&g);
+  }
+  Matrix all = session_.EmbedGraphs(MakeBatch(ptrs));
+  batches_total_.Add(1);
+  graphs_total_.Add(static_cast<uint64_t>(total));
+  batch_graphs_.Observe(static_cast<double>(total));
+  // Scatter result rows back to their requests (single-request batches
+  // take the matrix whole), then publish completion.
+  std::vector<Matrix> results(batch.size());
+  if (batch.size() == 1) {
+    results[0] = std::move(all);
+  } else {
+    int offset = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int n = static_cast<int>(batch[i]->graphs->size());
+      results[i] = all.RowSlice(offset, offset + n);
+      offset += n;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->result = std::move(results[i]);
+      batch[i]->status = ServeStatus::kOk;
+      batch[i]->done = true;
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void EmbeddingEngine::CancelQueueLocked() {
+  while (!queue_.empty()) {
+    Request* r = queue_.front();
+    queue_.pop_front();
+    r->status = ServeStatus::kShutdown;
+    r->done = true;
+  }
+  queued_graphs_ = 0;
+  queue_depth_.Set(0.0);
+  done_cv_.notify_all();
+}
+
+void EmbeddingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // Settle anything still queued: workers already drained (or
+  // cancelled) their share; this covers num_workers == 0 and the
+  // cancel path's no-worker corner. Both loops are no-ops on an empty
+  // queue, so repeated Shutdown() calls are harmless.
+  if (options_.cancel_pending_on_shutdown) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CancelQueueLocked();
+  } else {
+    while (RunOneBatch()) {
+    }
+  }
+}
+
+bool EmbeddingEngine::RunOneBatch() {
+  std::vector<Request*> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    batch = PopBatchLocked();
+  }
+  ExecuteBatch(batch);
+  return true;
+}
+
+int EmbeddingEngine::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_graphs_;
+}
+
+}  // namespace gradgcl::serve

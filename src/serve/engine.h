@@ -1,0 +1,158 @@
+// In-process embedding inference engine: dynamic micro-batching with
+// admission control over a frozen InferenceSession.
+//
+// Many client threads call Embed() concurrently; the engine coalesces
+// pending requests into disjoint-union batches and runs one tape-free
+// forward per batch on a small worker pool. Batching policy
+// (DESIGN.md §8 "Serving model"):
+//  * A batch launches as soon as max_batch_graphs graphs are pending,
+//    or when the OLDEST pending request has waited max_wait_micros —
+//    the classic size-or-deadline dynamic batcher. Requests are never
+//    split across batches; a request larger than max_batch_graphs runs
+//    as its own batch.
+//  * Admission control: at most max_queue_graphs graphs may be queued.
+//    Submissions beyond that are rejected immediately with
+//    kOverloaded — callers get explicit backpressure instead of
+//    unbounded queueing.
+//  * Shutdown() stops admission (kShutdown), then either drains the
+//    queue (default) or cancels pending requests with kShutdown
+//    (cancel_pending_on_shutdown), and joins the workers. The
+//    destructor calls Shutdown().
+//  * Determinism: the forward kernels compute every embedding row
+//    independently of its batch-mates (see serve/session.h), so
+//    results are bit-identical whatever the coalescing, worker count,
+//    GRADGCL_NUM_THREADS, or timing — batching is a pure throughput
+//    knob, never a correctness one.
+//
+// Worker threads block on a condition variable between batches; the
+// numeric work inside a batch fans out through the common/parallel
+// substrate exactly as trainer-side inference does (top-level regions
+// are serialized by the pool, so concurrent workers are safe).
+//
+// Observability (obs/metrics, obs/trace): every request/batch feeds
+//   serve/requests, serve/rejected, serve/batches, serve/graphs
+//   counters, the serve/queue_depth gauge, and the serve/latency_us +
+//   serve/batch_graphs histograms (p50/p95/p99 via
+//   SummarizePercentiles); each batch executes under a "serve/batch"
+//   trace span. Serve metrics are always on — they are the product
+//   surface of this subsystem, unlike the trainer's gated hooks.
+
+#ifndef GRADGCL_SERVE_ENGINE_H_
+#define GRADGCL_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/session.h"
+
+namespace gradgcl::serve {
+
+// Engine configuration; defaults serve small-graph traffic sensibly.
+struct ServeOptions {
+  // Worker threads executing batches. 0 = no workers: callers pump
+  // batches with RunOneBatch() (deterministic tests, single-threaded
+  // embedding pipelines).
+  int num_workers = 1;
+  // A batch launches once this many graphs are pending...
+  int max_batch_graphs = 16;
+  // ...or once the oldest pending request has waited this long.
+  double max_wait_micros = 200.0;
+  // Admission bound: pending graphs beyond this are rejected.
+  int max_queue_graphs = 1024;
+  // true: pending requests complete with kShutdown when Shutdown()
+  // runs; false (default): the queue is drained before workers exit.
+  bool cancel_pending_on_shutdown = false;
+};
+
+enum class ServeStatus {
+  kOk = 0,
+  kOverloaded,  // admission control rejected the request
+  kShutdown,    // engine stopped (at submit, or cancelled while queued)
+};
+
+// Stable names for logs / bench JSON.
+const char* ServeStatusName(ServeStatus status);
+
+// Outcome of one Embed() call.
+struct EmbedResult {
+  ServeStatus status = ServeStatus::kOk;
+  // One row per submitted graph (session out_dim columns); empty
+  // unless status == kOk.
+  Matrix embeddings;
+};
+
+class EmbeddingEngine {
+ public:
+  // `session` must outlive the engine.
+  EmbeddingEngine(const InferenceSession& session, const ServeOptions& options);
+  ~EmbeddingEngine();
+
+  EmbeddingEngine(const EmbeddingEngine&) = delete;
+  EmbeddingEngine& operator=(const EmbeddingEngine&) = delete;
+
+  // Embeds `graphs` (>= 1), blocking until the result is ready or the
+  // request is rejected. Safe to call from any thread except the
+  // engine's own workers. Admission failures return immediately.
+  EmbedResult Embed(const std::vector<Graph>& graphs);
+
+  // Stops admission, drains or cancels the queue per the options, and
+  // joins the workers. Idempotent; later Embed() calls get kShutdown.
+  void Shutdown();
+
+  // Pops and executes one pending batch inline on the calling thread,
+  // ignoring the size/deadline launch policy. Returns false when the
+  // queue is empty. The manual pump for num_workers == 0.
+  bool RunOneBatch();
+
+  // Pending graphs currently queued (diagnostics; racy by nature).
+  int QueueDepth() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  // One in-flight request, owned by the submitting Embed() frame.
+  struct Request {
+    const std::vector<Graph>* graphs = nullptr;
+    Matrix result;
+    ServeStatus status = ServeStatus::kOk;
+    bool done = false;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void WorkerLoop();
+  // Pops whole requests up to max_batch_graphs (>= 1 request).
+  std::vector<Request*> PopBatchLocked();
+  // Unions a popped batch, runs the forward, scatters rows back, and
+  // marks the requests done.
+  void ExecuteBatch(const std::vector<Request*>& batch);
+  void CancelQueueLocked();
+
+  const InferenceSession& session_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue state changed
+  std::condition_variable done_cv_;  // clients: some batch completed
+  std::deque<Request*> queue_;
+  int queued_graphs_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Metric handles (registered once at construction).
+  obs::Counter requests_total_;
+  obs::Counter rejected_total_;
+  obs::Counter batches_total_;
+  obs::Counter graphs_total_;
+  obs::Gauge queue_depth_;
+  obs::Histogram latency_us_;
+  obs::Histogram batch_graphs_;
+};
+
+}  // namespace gradgcl::serve
+
+#endif  // GRADGCL_SERVE_ENGINE_H_

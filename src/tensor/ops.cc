@@ -386,6 +386,44 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   return out;
 }
 
+Matrix SegmentSum(const Matrix& a, const std::vector<int>& segments,
+                  int num_segments) {
+  GRADGCL_CHECK(static_cast<int>(segments.size()) == a.rows());
+  Matrix out(num_segments, a.cols(), 0.0);
+  const int64_t cols = a.cols();
+  const double* src = a.data();
+  double* dst = out.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const int s = segments[i];
+    GRADGCL_CHECK(s >= 0 && s < num_segments);
+    const double* row = src + i * cols;
+    double* acc = dst + s * cols;
+    for (int64_t j = 0; j < cols; ++j) acc[j] += row[j];
+  }
+  return out;
+}
+
+Matrix SegmentMean(const Matrix& a, const std::vector<int>& segments,
+                   int num_segments) {
+  GRADGCL_CHECK(static_cast<int>(segments.size()) == a.rows());
+  std::vector<double> counts(num_segments, 0.0);
+  for (int s : segments) {
+    GRADGCL_CHECK(s >= 0 && s < num_segments);
+    counts[s] += 1.0;
+  }
+  Matrix out = SegmentSum(a, segments, num_segments);
+  const int64_t cols = a.cols();
+  double* dst = out.data();
+  for (int s = 0; s < num_segments; ++s) {
+    if (counts[s] > 0.0) {
+      const double inv = 1.0 / counts[s];
+      double* row = dst + s * cols;
+      for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+    }
+  }
+  return out;
+}
+
 Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
   GRADGCL_CHECK(scale.rows() == a.rows() && scale.cols() == 1);
   const int64_t cols = a.cols();

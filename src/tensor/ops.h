@@ -6,6 +6,8 @@
 #ifndef GRADGCL_TENSOR_OPS_H_
 #define GRADGCL_TENSOR_OPS_H_
 
+#include <vector>
+
 #include "common/parallel.h"
 #include "tensor/matrix.h"
 
@@ -119,6 +121,23 @@ Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b);
 
 // Broadcast-adds a 1 x cols row vector to every row of a.
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+// --- Segment reductions -----------------------------------------------------
+// Raw readout kernels over batched graphs: rows of `a` grouped by
+// segments[i] (0-based, < num_segments) into num_segments output rows.
+// Accumulation runs in ascending row order, so the rounding sequence is
+// independent of how rows were batched together — the property the
+// serving path relies on to return bit-identical embeddings regardless
+// of micro-batch composition. autograd's SegmentSum/SegmentMean wrap
+// these for their forward values (bit-equality by construction).
+
+// out(s, :) = Σ_{i: segments[i] == s} a(i, :).
+Matrix SegmentSum(const Matrix& a, const std::vector<int>& segments,
+                  int num_segments);
+
+// Segment sums scaled by 1/|segment|; empty segments yield zero rows.
+Matrix SegmentMean(const Matrix& a, const std::vector<int>& segments,
+                   int num_segments);
 
 // Broadcast-multiplies each row i of a by scale(i, 0).
 Matrix ScaleRows(const Matrix& a, const Matrix& scale);

@@ -126,6 +126,41 @@ TEST_P(GraphModelCheckpoint, SaveLoadPreservesEmbeddings) {
   std::remove(path.c_str());
 }
 
+// Corrupting a saved checkpoint must fail cleanly (no abort, no load)
+// and leave the target model's parameters untouched.
+TEST_P(GraphModelCheckpoint, CorruptCheckpointFailsCleanly) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 6;
+  const std::vector<Graph> data = GenerateTuDataset(profile, 3);
+
+  Rng rng(111);
+  auto model = MakeGraphBackbone(GetParam(), profile.feature_dim, rng);
+  const std::string path = TempPath(
+      "bad_graph_" + std::to_string(static_cast<int>(GetParam())) + ".ggcl");
+  ASSERT_TRUE(SaveModule(path, *model));
+  const Matrix before = model->EmbedGraphs(data);
+
+  // Truncate the payload: header now claims more than the file holds.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+  EXPECT_FALSE(LoadModule(path, *model));
+
+  // Corrupt the magic as well.
+  f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("JUNK", 1, 4, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadModule(path, *model));
+
+  // The failed loads must not have modified the model.
+  EXPECT_TRUE(AllClose(model->EmbedGraphs(data), before, 0.0));
+  std::remove(path.c_str());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackbones, GraphModelCheckpoint,
     ::testing::Values(GraphBackboneId::kGraphCl, GraphBackboneId::kJoao,
@@ -202,6 +237,30 @@ TEST_P(NodeModelCheckpoint, SaveLoadPreservesEmbeddings) {
   ASSERT_TRUE(LoadModule(path, *restored));
   EXPECT_TRUE(
       AllClose(trained->EmbedNodes(data), restored->EmbedNodes(data), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST_P(NodeModelCheckpoint, CorruptCheckpointFailsCleanly) {
+  NodeProfile profile = NodeProfileByName("Cora");
+  profile.num_nodes = 40;
+  profile.feature_dim = 10;
+  const NodeDataset data = GenerateNodeDataset(profile, 5);
+
+  Rng rng(113);
+  auto model = MakeNodeBackbone(GetParam(), profile.feature_dim, rng);
+  const std::string path = TempPath(
+      "bad_node_" + std::to_string(static_cast<int>(GetParam())) + ".ggcl");
+  ASSERT_TRUE(SaveModule(path, *model));
+  const Matrix before = model->EmbedNodes(data);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+  EXPECT_FALSE(LoadModule(path, *model));
+  EXPECT_TRUE(AllClose(model->EmbedNodes(data), before, 0.0));
   std::remove(path.c_str());
 }
 

@@ -153,6 +153,95 @@ TEST(MetricsRegistryTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(data->upper_edges[2], 4.0);
 }
 
+// --- HistogramPercentile: pinned interpolation semantics --------------------
+// These tests are the normative definition of the estimator (see the
+// doc comment in obs/metrics.h): bucket i covers
+// (upper_edges[i-1], upper_edges[i]], linear interpolation inside the
+// containing bucket, overflow clamps to the last finite edge.
+
+TEST(HistogramPercentileTest, EmptyHistogramReturnsZero) {
+  obs::HistogramData h;
+  h.upper_edges = {1.0, 2.0};
+  h.counts = {0, 0, 0};
+  h.total = 0;
+  EXPECT_EQ(obs::HistogramPercentile(h, 50.0), 0.0);
+  const obs::PercentileSummary s = obs::SummarizePercentiles(h);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramPercentileTest, InterpolatesLinearlyWithinBucket) {
+  // 4 observations, all in the single bucket (0, 10].
+  obs::HistogramData h;
+  h.upper_edges = {10.0};
+  h.counts = {4, 0};
+  h.total = 4;
+  // rank = p/100 * 4; estimate = 0 + 10 * rank/4.
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 100.0), 10.0);
+  // p is clamped to [0, 100].
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 250.0), 10.0);
+}
+
+TEST(HistogramPercentileTest, WalksCumulativeCountsAcrossBuckets) {
+  // (0,1]: 2   (1,2]: 2   (2,4]: 4   overflow: 0     total 8
+  obs::HistogramData h;
+  h.upper_edges = {1.0, 2.0, 4.0};
+  h.counts = {2, 2, 4, 0};
+  h.total = 8;
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 25.0), 1.0);  // rank 2
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 50.0), 2.0);  // rank 4
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 75.0), 3.0);  // rank 6
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 100.0), 4.0);
+  // Empty buckets are skipped without affecting the interpolation.
+  obs::HistogramData sparse;
+  sparse.upper_edges = {1.0, 2.0, 4.0, 8.0};
+  sparse.counts = {2, 0, 0, 2, 0};
+  sparse.total = 4;
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(sparse, 75.0), 6.0);  // rank 3
+}
+
+TEST(HistogramPercentileTest, OverflowBucketClampsToLastFiniteEdge) {
+  obs::HistogramData h;
+  h.upper_edges = {1.0, 2.0};
+  h.counts = {1, 1, 2};  // half the mass is above the last edge
+  h.total = 4;
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 99.0), 2.0);
+  const obs::PercentileSummary s = obs::SummarizePercentiles(h);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);  // rank 2 lands exactly on bucket 1's edge
+  EXPECT_DOUBLE_EQ(s.p95, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99, 2.0);
+}
+
+TEST(HistogramPercentileTest, NonPositiveFirstEdgeIsDegenerate) {
+  // Bucket 0's lower bound is min(0, edge): a non-positive first edge
+  // gives a zero-width first bucket that returns the edge itself.
+  obs::HistogramData h;
+  h.upper_edges = {-10.0, 10.0};
+  h.counts = {2, 2, 0};
+  h.total = 4;
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 25.0), -10.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(h, 75.0), 0.0);  // -10 + 20*1/2
+}
+
+TEST(HistogramPercentileTest, MatchesRegistryObservations) {
+  // End-to-end: observe through a registry handle, summarize the
+  // snapshot. 100 observations spread uniformly over (0, 100].
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  obs::Histogram h = reg.GetHistogram("test/pctl", {25.0, 50.0, 75.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::HistogramData* data = snap.histogram("test/pctl");
+  ASSERT_NE(data, nullptr);
+  ASSERT_EQ(data->total, 100u);
+  const obs::PercentileSummary s = obs::SummarizePercentiles(*data);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
 TEST(MetricsRegistryTest, MergeIsBitStableAcrossThreadCounts) {
   // The same logical workload split over 1, 2, and 4 writer threads
   // must merge to identical totals — counter and histogram cells are

@@ -88,6 +88,105 @@ TEST(SerializeTest, TruncatedFileFails) {
   std::remove(path.c_str());
 }
 
+// Writes a snapshot with an arbitrary (possibly lying) header:
+// magic + version, a tensor count, explicit (rows, cols) pairs, and
+// `payload_doubles` doubles of payload.
+std::string WriteCraftedFile(const char* name, int32_t version, int32_t count,
+                             const std::vector<std::pair<int32_t, int32_t>>& dims,
+                             int payload_doubles) {
+  const std::string path = TempPath(name);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fwrite("GGCL", 1, 4, f);
+  std::fwrite(&version, 4, 1, f);
+  std::fwrite(&count, 4, 1, f);
+  for (const auto& [rows, cols] : dims) {
+    std::fwrite(&rows, 4, 1, f);
+    std::fwrite(&cols, 4, 1, f);
+  }
+  const double zero = 0.0;
+  for (int i = 0; i < payload_doubles; ++i) std::fwrite(&zero, 8, 1, f);
+  std::fclose(f);
+  return path;
+}
+
+// Untrusted-snapshot hardening: every corrupt header must produce a
+// clean `false` with an empty output state — no abort, no allocation
+// sized from the lying header.
+
+TEST(SerializeTest, WrongVersionFails) {
+  const std::string path = WriteCraftedFile("ver.ggcl", 99, 1, {{1, 1}}, 1);
+  std::vector<Matrix> state = {Matrix::Ones(1, 1)};
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NegativeTensorCountFails) {
+  const std::string path = WriteCraftedFile("negcount.ggcl", 1, -1, {}, 0);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, InflatedTensorCountFails) {
+  // Claims a billion tensors in a 20-byte file: rejected up front from
+  // the per-tensor header cost, before any reserve sized by `count`.
+  const std::string path =
+      WriteCraftedFile("bigcount.ggcl", 1, 1000000000, {{1, 1}}, 0);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NegativeDimensionsFail) {
+  for (const auto& dims : {std::pair<int32_t, int32_t>{-1, 4},
+                           std::pair<int32_t, int32_t>{4, -1},
+                           std::pair<int32_t, int32_t>{-2, -2}}) {
+    const std::string path =
+        WriteCraftedFile("negdims.ggcl", 1, 1, {dims}, 16);
+    std::vector<Matrix> state;
+    EXPECT_FALSE(LoadStateFile(path, &state));
+    EXPECT_TRUE(state.empty());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SerializeTest, OverflowingElementCountFails) {
+  // rows·cols ~ 2^62: the 8x byte multiple would overflow int64 if
+  // computed naively, and the alleged payload dwarfs the file. Must
+  // fail fast without attempting the (exabyte) allocation.
+  const int32_t huge = 0x7fffffff;
+  const std::string path =
+      WriteCraftedFile("overflow.ggcl", 1, 1, {{huge, huge}}, 4);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PayloadShorterThanHeaderClaimsFails) {
+  // Header says 8x8 but only half the doubles are present.
+  const std::string path =
+      WriteCraftedFile("short.ggcl", 1, 1, {{8, 8}}, 32);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SecondTensorHeaderMissingFails) {
+  // Count says 2 but the file ends after the first tensor.
+  const std::string path =
+      WriteCraftedFile("missing2nd.ggcl", 1, 2, {{2, 2}}, 4);
+  std::vector<Matrix> state;
+  EXPECT_FALSE(LoadStateFile(path, &state));
+  EXPECT_TRUE(state.empty());
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, SaveToUnwritablePathFails) {
   Rng rng(5);
   EXPECT_FALSE(
