@@ -607,7 +607,10 @@ Variable LogSumExpOffDiag(const Variable& a) {
   // Row-local (hence thread-count-invariant), and the same j-ascending
   // max/sum order as LogSumExpRows under the off-diagonal mask.
   const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 15) / n);
-  ParallelFor(0, n, grain, [&](int64_t r0, int64_t r1) {
+  // ~one exp + compare per masked element, per the parallel.h cost
+  // model's transcendental weighting.
+  ParallelFor(0, n, grain, /*cost_per_iter=*/16 * n,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* xrow = xdata + i * n;
       double mx = -1e300;

@@ -179,7 +179,10 @@ Matrix EuclideanGradientFeatures(const Matrix& u, const Matrix& v) {
   const Matrix d2 = SquaredDistanceMatrix(u, u);
   Matrix alpha = Matrix::Uninitialized(n, n);
   const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 15) / n);
-  ParallelFor(0, n, grain, [&](int64_t r0, int64_t r1) {
+  // Cost hints: one exp per α entry for the weight pass, one d-wide
+  // madd row per neighbour for the gradient pass.
+  ParallelFor(0, n, grain, /*cost_per_iter=*/16 * n,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       double pd2 = 0.0;
       for (int j = 0; j < d; ++j) {
@@ -206,7 +209,8 @@ Matrix EuclideanGradientFeatures(const Matrix& u, const Matrix& v) {
   // Needs the full α, hence a second ParallelFor; each output row is a
   // k-ascending reduction local to its chunk.
   Matrix g(n, d, 0.0);
-  ParallelFor(0, n, grain, [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, n, grain, /*cost_per_iter=*/2 * n * d,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double own = 1.0 - alpha(i, i);
       for (int j = 0; j < d; ++j) g(i, j) += own * (u(i, j) - v(i, j));

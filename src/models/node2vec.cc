@@ -1,5 +1,6 @@
 #include "models/node2vec.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"

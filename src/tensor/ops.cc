@@ -18,15 +18,31 @@ int64_t RowGrain(int64_t work_per_row) {
   return grain < 1 ? 1 : grain;
 }
 
+// Cost-model hint (common/parallel.h) for transcendental-heavy
+// elementwise work: exp/log/tanh cost roughly this many FLOP
+// equivalents each.
+constexpr int64_t kTranscendentalCost = 16;
+
+// GEMM tile grains for ParallelFor2D: at least 8 output rows (two
+// 3/2-row microkernel passes plus slack) and 64 output columns (eight
+// kNr=8 B panels) per tile, so each tile amortizes its panel packs.
+constexpr int64_t kGemmRowGrain = 8;
+constexpr int64_t kGemmColGrain = 64;
+
 }  // namespace
 
-// The dense products below parallelize over strips of whole output
-// rows and hand each strip to the active SIMD kernel table
-// (tensor/simd.h). Per output element the accumulation order is fixed
-// by the kernel's blocking — kk ascending, never split across chunks —
-// so results are bit-identical for any thread count in either SIMD
-// mode. Matrix buffers are 64-byte aligned by construction
-// (tensor/pool.cc); strip-offset pointers may not be, so the kernels
+// The dense products below parallelize over 2-D (row-strip x
+// column-strip) tiles of the output and hand each tile to the active
+// SIMD kernel table (tensor/simd.h) via pointer offsets — C(r0:r1,
+// c0:c1) = A(r0:r1, :) * B(:, c0:c1) with the original leading
+// dimensions. Per output element the accumulation order is fixed by
+// the kernel's blocking — kk ascending, never split across tiles, and
+// independent of which SIMD lane or tile the element lands in — so
+// results are bit-identical for any thread count in either SIMD mode.
+// Each ParallelFor2D passes cost_per_cell = 2k (one madd per k step),
+// which keeps small products (matmul_64/128) on the direct serial
+// call. Matrix buffers are 64-byte aligned by construction
+// (tensor/pool.cc); tile-offset pointers may not be, so the kernels
 // use unaligned vector loads.
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -39,10 +55,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
                  simd::IsAligned64(odata));
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    kt.gemm(adata + r0 * k, k, bdata, m, odata + r0 * m, m, r1 - r0, k, m,
-            /*row_scale=*/nullptr, /*post=*/1.0);
-  });
+  ParallelFor2D(n, m, kGemmRowGrain, kGemmColGrain, /*cost_per_cell=*/2 * k,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  kt.gemm(adata + r0 * k, k, bdata + c0, m,
+                          odata + r0 * m + c0, m, r1 - r0, k, c1 - c0,
+                          /*row_scale=*/nullptr, /*post=*/1.0);
+                });
   return out;
 }
 
@@ -56,10 +74,13 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
                  simd::IsAligned64(odata));
   const simd::KernelTable& kt = simd::Active();
-  // Each chunk owns a strip of output rows (a column strip of a).
-  ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
-    kt.gemm_transa(adata, n, bdata, m, odata, m, i0, i1, k, m);
-  });
+  // Each tile owns output rows [r0, r1) (a column strip of a) and
+  // output columns [c0, c1) (a column strip of b).
+  ParallelFor2D(n, m, kGemmRowGrain, kGemmColGrain, /*cost_per_cell=*/2 * k,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  kt.gemm_transa(adata, n, bdata + c0, m, odata + c0, m, r0,
+                                 r1, k, c1 - c0);
+                });
   return out;
 }
 
@@ -73,10 +94,14 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   GRADGCL_DCHECK(simd::IsAligned64(adata) && simd::IsAligned64(bdata) &&
                  simd::IsAligned64(odata));
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    kt.gemm_transb(adata + r0 * k, bdata, odata + r0 * m, m, r1 - r0, k, m,
-                   /*scale=*/1.0);
-  });
+  // Output column c is b's row c, so a column tile starts at row c0 of
+  // b — each output element is one complete dot product.
+  ParallelFor2D(n, m, kGemmRowGrain, kGemmColGrain, /*cost_per_cell=*/2 * k,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  kt.gemm_transb(adata + r0 * k, bdata + c0 * k,
+                                 odata + r0 * m + c0, m, r1 - r0, k, c1 - c0,
+                                 /*scale=*/1.0);
+                });
   return out;
 }
 
@@ -91,10 +116,12 @@ Matrix MatMulTransBScaled(const Matrix& a, const Matrix& b, double scale) {
   // Same dot kernel as MatMulTransB; each dot product completes before
   // the scale is applied, so the bits match ScalarMul(MatMulTransB(a,
   // b)) in either SIMD mode.
-  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    kt.gemm_transb(adata + r0 * k, bdata, odata + r0 * m, m, r1 - r0, k, m,
-                   scale);
-  });
+  ParallelFor2D(n, m, kGemmRowGrain, kGemmColGrain, /*cost_per_cell=*/2 * k,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  kt.gemm_transb(adata + r0 * k, bdata + c0 * k,
+                                 odata + r0 * m + c0, m, r1 - r0, k, c1 - c0,
+                                 scale);
+                });
   return out;
 }
 
@@ -111,7 +138,8 @@ void MaskedExpRowSum(const Matrix& s, Matrix* exp_out, Matrix* rowsum_out) {
   // The unfused path stores exp(s_ii) * 0.0 == +0.0 on the diagonal and
   // its RowSum adds that zero in place; summing the stored row with the
   // same `sum` kernel RowSum uses reproduces those bits exactly.
-  ParallelFor(0, n, RowGrain(n), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, n, RowGrain(n), /*cost_per_iter=*/n * kTranscendentalCost,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* srow = sdata + i * n;
       double* erow = edata + i * n;
@@ -142,10 +170,12 @@ Matrix ScaleRowsMatMulScaled(const Matrix& a, const Matrix& row_scale,
   // after its accumulation completes — bit-identical to
   // ScalarMul(MatMul(ScaleRows(a, row_scale), b), post) in either SIMD
   // mode.
-  ParallelFor(0, n, RowGrain(k * m), [&](int64_t r0, int64_t r1) {
-    kt.gemm(adata + r0 * k, k, bdata, m, odata + r0 * m, m, r1 - r0, k, m,
-            sdata + r0, post);
-  });
+  ParallelFor2D(n, m, kGemmRowGrain, kGemmColGrain, /*cost_per_cell=*/2 * k,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  kt.gemm(adata + r0 * k, k, bdata + c0, m,
+                          odata + r0 * m + c0, m, r1 - r0, k, c1 - c0,
+                          sdata + r0, post);
+                });
   return out;
 }
 
@@ -156,7 +186,8 @@ Matrix OffDiagSigmoid(const Matrix& s) {
   const double* sdata = s.data();
   double* odata = out.data();
   // sigmoid(s_ii) * 0.0 == +0.0 in the unfused mask path.
-  ParallelFor(0, n, RowGrain(n), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, n, RowGrain(n), /*cost_per_iter=*/n * kTranscendentalCost,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* srow = sdata + i * n;
       double* orow = odata + i * n;
@@ -175,7 +206,7 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
   const double* bdata = b.data();
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, a.size(), kElementwiseGrain,
+  ParallelFor(0, a.size(), kElementwiseGrain, /*cost_per_iter=*/2,
               [&](int64_t begin, int64_t end) {
                 kt.hadamard(odata + begin, adata + begin, bdata + begin,
                             end - begin);
@@ -204,19 +235,19 @@ Matrix operator*(const Matrix& a, double s) {
 Matrix operator*(double s, const Matrix& a) { return a * s; }
 
 Matrix Exp(const Matrix& a) {
-  return Map(a, [](double v) { return std::exp(v); });
+  return Map(a, [](double v) { return std::exp(v); }, kTranscendentalCost);
 }
 
 Matrix Log(const Matrix& a) {
-  return Map(a, [](double v) { return std::log(v); });
+  return Map(a, [](double v) { return std::log(v); }, kTranscendentalCost);
 }
 
 Matrix Tanh(const Matrix& a) {
-  return Map(a, [](double v) { return std::tanh(v); });
+  return Map(a, [](double v) { return std::tanh(v); }, kTranscendentalCost);
 }
 
 Matrix Sqrt(const Matrix& a) {
-  return Map(a, [](double v) { return std::sqrt(v); });
+  return Map(a, [](double v) { return std::sqrt(v); }, kTranscendentalCost);
 }
 
 Matrix Abs(const Matrix& a) {
@@ -230,9 +261,10 @@ Matrix Relu(const Matrix& a) {
 // Row-wise kernels parallelize over rows: every output element is a
 // reduction along one row, computed entirely inside one chunk with the
 // active table's fixed lane order, so any thread count produces
-// identical bits. Column-wise reductions (ColSum/ColMean) stay serial —
-// chunk-local partial sums would make the reduction order depend on
-// the thread count.
+// identical bits. Column-wise reductions (ColSum/ColMean) use a
+// fixed-shape binary reduction tree over 64-row leaf blocks — the tree
+// shape depends only on the row count, never on the thread count, so
+// they parallelize without breaking the bit-identity contract.
 
 Matrix RowSum(const Matrix& a) {
   const int64_t cols = a.cols();
@@ -240,7 +272,8 @@ Matrix RowSum(const Matrix& a) {
   const double* adata = a.data();
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       odata[i] = kt.sum(adata + i * cols, cols);
     }
@@ -261,7 +294,8 @@ Matrix RowMax(const Matrix& a) {
   Matrix out = Matrix::Uninitialized(a.rows(), 1);
   const double* adata = a.data();
   double* odata = out.data();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* arow = adata + i * cols;
       double best = arow[0];
@@ -272,11 +306,60 @@ Matrix RowMax(const Matrix& a) {
   return out;
 }
 
+// Leaf size of the ColSum reduction tree. A pure function of the
+// matrix shape (NOT the thread count): rows are summed i-ascending
+// inside fixed 64-row blocks, and block partials combine pairwise —
+// ((b0+b1)+(b2+b3))+... — the same fixed-shape combine the SIMD lane
+// chains pin. Leaves and combine strips may execute on any thread in
+// any order; the per-column reduction order never changes, so ColSum
+// is bit-identical for every pool size (including 1) and both values
+// of GRADGCL_POOL.
+namespace {
+constexpr int64_t kColReduceBlock = 64;
+}  // namespace
+
 Matrix ColSum(const Matrix& a) {
-  Matrix out(1, a.cols(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  const int64_t rows = a.rows(), cols = a.cols();
+  Matrix out = Matrix::Uninitialized(1, cols);
+  double* odata = out.data();
+  if (rows == 0) {
+    std::fill(odata, odata + cols, 0.0);
+    return out;
   }
+  const double* adata = a.data();
+  const int64_t nblocks = (rows + kColReduceBlock - 1) / kColReduceBlock;
+  // Scratch rides the pool inside a TapeScope, keeping the training
+  // step zero-alloc.
+  Matrix partial = Matrix::Uninitialized(nblocks, cols);
+  double* pdata = partial.data();
+  // Leaves: block b sums its rows i-ascending into one partial row.
+  ParallelFor(0, nblocks, 1, /*cost_per_iter=*/kColReduceBlock * cols,
+              [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t r0 = b * kColReduceBlock;
+      const int64_t r1 = std::min(rows, r0 + kColReduceBlock);
+      double* prow = pdata + b * cols;
+      std::copy(adata + r0 * cols, adata + (r0 + 1) * cols, prow);
+      for (int64_t i = r0 + 1; i < r1; ++i) {
+        const double* arow = adata + i * cols;
+        for (int64_t j = 0; j < cols; ++j) prow[j] += arow[j];
+      }
+    }
+  });
+  // Tree combine: each column strip walks the whole fixed tree
+  // (stride-doubling pairwise adds); per-column order is independent
+  // of the strip partition.
+  ParallelFor(0, cols, 256, /*cost_per_iter=*/nblocks,
+              [&](int64_t c0, int64_t c1) {
+    for (int64_t stride = 1; stride < nblocks; stride *= 2) {
+      for (int64_t b = 0; b + stride < nblocks; b += 2 * stride) {
+        double* dst = pdata + b * cols;
+        const double* src = pdata + (b + stride) * cols;
+        for (int64_t j = c0; j < c1; ++j) dst[j] += src[j];
+      }
+    }
+  });
+  std::copy(pdata, pdata + cols, odata);
   return out;
 }
 
@@ -293,7 +376,8 @@ Matrix RowNorms(const Matrix& a) {
   const double* adata = a.data();
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/2 * cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       odata[i] = std::sqrt(kt.sumsq(adata + i * cols, cols));
     }
@@ -307,7 +391,8 @@ Matrix RowNormalize(const Matrix& a, double eps) {
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
   // Same sumsq kernel as RowNorms, so both see the same norm bits.
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/3 * cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       double* orow = odata + i * cols;
       const double norm = std::sqrt(kt.sumsq(orow, cols));
@@ -324,7 +409,9 @@ Matrix RowSoftmax(const Matrix& a) {
   Matrix out = Matrix::Uninitialized(a.rows(), a.cols());
   const double* adata = a.data();
   double* odata = out.data();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols),
+              /*cost_per_iter=*/cols * (kTranscendentalCost + 4),
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double* arow = adata + i * cols;
       double* orow = odata + i * cols;
@@ -357,7 +444,8 @@ Matrix SquaredDistanceMatrix(const Matrix& a, const Matrix& b) {
   Matrix out = Matrix::Uninitialized(a.rows(), b.rows());
   const double* ddata = dots.data();
   double* odata = out.data();
-  ParallelFor(0, a.rows(), RowGrain(m), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(m), /*cost_per_iter=*/6 * m,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const double ai = a2.at_flat(i) * a2.at_flat(i);
       const double* drow = ddata + i * m;
@@ -378,7 +466,8 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   const double* rdata = row.data();
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       kt.add(odata + i * cols, rdata, cols);
     }
@@ -431,7 +520,8 @@ Matrix ScaleRows(const Matrix& a, const Matrix& scale) {
   const double* sdata = scale.data();
   double* odata = out.data();
   const simd::KernelTable& kt = simd::Active();
-  ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(cols), /*cost_per_iter=*/cols,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       kt.scale(odata + i * cols, cols, sdata[i]);
     }

@@ -67,13 +67,16 @@ inline constexpr int64_t kElementwiseGrain = 1 << 14;
 // Applies `fn` elementwise. Templated so callers' lambdas inline into
 // the loop (the old std::function signature paid an indirect call per
 // element); large matrices are chunk-parallel, which is deterministic
-// because fn is applied independently per element.
+// because fn is applied independently per element. `cost_per_elem`
+// feeds the cost model (common/parallel.h): the FLOP-equivalent cost
+// of one fn application — transcendental wrappers pass ~16, cheap
+// arithmetic keeps the default.
 template <typename Fn>
-Matrix Map(const Matrix& a, Fn&& fn) {
+Matrix Map(const Matrix& a, Fn&& fn, int64_t cost_per_elem = 2) {
   Matrix out = Matrix::Uninitialized(a.rows(), a.cols());
   const double* src = a.data();
   double* dst = out.data();
-  ParallelFor(0, a.size(), kElementwiseGrain,
+  ParallelFor(0, a.size(), kElementwiseGrain, cost_per_elem,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) dst[i] = fn(src[i]);
               });

@@ -51,7 +51,10 @@ Matrix SparseMatrix::Multiply(const Matrix& x) const {
   const int64_t grain =
       avg_row_work > 0 ? std::max<int64_t>(1, kMinWorkPerChunk / avg_row_work)
                        : rows_;
-  ParallelFor(0, rows_, grain, [&](int64_t r0, int64_t r1) {
+  // Cost hint: 2 FLOPs (madd) per stored value per output column,
+  // averaged over rows for the per-iteration estimate.
+  ParallelFor(0, rows_, grain, /*cost_per_iter=*/2 * avg_row_work,
+              [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       double* yrow = ydata + r * cols;
       for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "eval/cross_validation.h"
@@ -42,6 +43,26 @@ class SimdGuard {
 
  private:
   bool saved_;
+};
+
+// Restores the spin-before-park window a test changed.
+class SpinGuard {
+ public:
+  SpinGuard() : saved_(SpinMicros()) {}
+  ~SpinGuard() { SetSpinMicros(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Restores the parallelization cost threshold a test changed.
+class CostGuard {
+ public:
+  CostGuard() : saved_(internal::MinParallelCost()) {}
+  ~CostGuard() { internal::SetMinParallelCost(saved_); }
+
+ private:
+  int64_t saved_;
 };
 
 // Marks each index of [0, n) once; duplicates or gaps fail the test.
@@ -125,6 +146,148 @@ TEST(ParallelPoolTest, ReentrantRegionsAfterResize) {
     SetNumThreads(round + 2);
     ExpectExactCoverage(127, 3);
     ExpectExactCoverage(128, 1);
+  }
+}
+
+TEST(ParallelForTest, CostModelInlinesCheapRegions) {
+  ThreadGuard guard;
+  CostGuard cost_guard;
+  // Pin the threshold to the multicore default so the test holds even
+  // when the suite runs under a GRADGCL_PARALLEL_MIN_COST override.
+  internal::SetMinParallelCost(int64_t{1} << 23);
+  SetNumThreads(8);
+  // Total cost 1000 * 4 is far below the threshold: the
+  // region must be one direct serial call covering the whole range.
+  std::atomic<int> calls{0};
+  int64_t lo = -1, hi = -1;
+  ParallelFor(0, 1000, 1, /*cost_per_iter=*/4,
+              [&](int64_t begin, int64_t end) {
+                calls.fetch_add(1);
+                lo = begin;
+                hi = end;
+              });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 1000);
+  // An expensive region of the same shape fans out into several chunks.
+  calls.store(0);
+  ParallelFor(0, 1000, 1, /*cost_per_iter=*/int64_t{1} << 20,
+              [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_GT(calls.load(), 1);
+}
+
+TEST(ParallelFor2DTest, CoversTileGridExactly) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    const int64_t rows = 101, cols = 67;
+    std::vector<std::atomic<int>> hits(rows * cols);
+    for (auto& h : hits) h.store(0);
+    ParallelFor2D(rows, cols, 8, 8, internal::kUnknownCost,
+                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                    EXPECT_LT(r0, r1);
+                    EXPECT_LT(c0, c1);
+                    for (int64_t r = r0; r < r1; ++r) {
+                      for (int64_t c = c0; c < c1; ++c) {
+                        hits[r * cols + c].fetch_add(1);
+                      }
+                    }
+                  });
+    for (int64_t i = 0; i < rows * cols; ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "cell " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor2DTest, CheapGridRunsAsOneTile) {
+  ThreadGuard guard;
+  CostGuard cost_guard;
+  internal::SetMinParallelCost(int64_t{1} << 23);
+  SetNumThreads(8);
+  std::atomic<int> calls{0};
+  ParallelFor2D(64, 64, 8, 8, /*cost_per_cell=*/2,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  calls.fetch_add(1);
+                  EXPECT_EQ(r0, 0);
+                  EXPECT_EQ(r1, 64);
+                  EXPECT_EQ(c0, 0);
+                  EXPECT_EQ(c1, 64);
+                });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// Rapid-fire small regions from several caller threads at once: the
+// pool serializes regions internally, every region must still cover
+// its range exactly, and TSAN must stay quiet (the verify recipe runs
+// this under both GRADGCL_SPIN_US=0 and =1000).
+TEST(ParallelPoolTest, ConcurrentCallersHammerSmallRegions) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&failures, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int64_t n = 1 + (t * 31 + round) % 97;
+        std::atomic<int64_t> sum{0};
+        ParallelFor(0, n, 1, [&sum](int64_t begin, int64_t end) {
+          int64_t local = 0;
+          for (int64_t i = begin; i < end; ++i) local += i;
+          sum.fetch_add(local);
+        });
+        if (sum.load() != n * (n - 1) / 2) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// SetNumThreads while other threads keep dispatching regions: resizes
+// serialize against in-flight regions, and no region may ever lose or
+// duplicate an index.
+TEST(ParallelPoolTest, ReconfigureUnderLoad) {
+  ThreadGuard guard;
+  SetNumThreads(2);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 2; ++t) {
+    callers.emplace_back([&stop, &failures] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::atomic<int64_t> sum{0};
+        ParallelFor(0, 128, 1, [&sum](int64_t begin, int64_t end) {
+          int64_t local = 0;
+          for (int64_t i = begin; i < end; ++i) local += i;
+          sum.fetch_add(local);
+        });
+        if (sum.load() != 128 * 127 / 2) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    SetNumThreads(1 + round % 4);
+  }
+  stop.store(true);
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Both parking disciplines must execute regions correctly; the TSAN
+// verify legs re-run the whole binary under each.
+TEST(ParallelPoolTest, SpinWindowKnobCoversBothParkingPaths) {
+  ThreadGuard thread_guard;
+  SpinGuard spin_guard;
+  for (int spin_us : {0, 1000}) {
+    SetSpinMicros(spin_us);
+    EXPECT_EQ(SpinMicros(), spin_us);
+    SetNumThreads(4);
+    ExpectExactCoverage(513, 2);
+    ExpectExactCoverage(64, 1);
   }
 }
 
@@ -248,6 +411,66 @@ TEST(KernelDeterminismTest, ElementwiseAndRowKernelsInvariant) {
   ExpectThreadCountInvariant([&] { return RowSum(a); }, "RowSum");
   ExpectThreadCountInvariant([&] { return RowNormalize(a); }, "RowNormalize");
   ExpectThreadCountInvariant([&] { return RowSoftmax(a); }, "RowSoftmax");
+}
+
+// The fixed-shape reduction tree: column sums must be bit-identical
+// across 1/2/4/8 threads (the tree shape depends only on the row
+// count), agree tightly with the naive ascending serial sum, and match
+// it exactly below the leaf size where the tree degenerates to the
+// same serial loop.
+TEST(KernelDeterminismTest, ColSumTreeReductionBitIdentical) {
+  Rng rng(49);
+  const Matrix a = Matrix::RandomNormal(1000, 37, rng);
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const Matrix reference = ColSum(a);
+  const Matrix mean_reference = ColMean(a);
+  for (int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(ColSum(a), reference, "ColSum");
+    ExpectBitIdentical(ColMean(a), mean_reference, "ColMean");
+  }
+  // Naive ascending serial sum: the tree reassociates, so tolerance.
+  Matrix naive(1, a.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) naive(0, j) += a(i, j);
+  }
+  EXPECT_LT(MaxRelDiff(reference, naive), 1e-12);
+  // At or below one leaf block the tree IS the ascending serial sum.
+  const Matrix small = Matrix::RandomNormal(64, 19, rng);
+  Matrix small_naive(1, small.cols(), 0.0);
+  for (int i = 0; i < small.rows(); ++i) {
+    for (int j = 0; j < small.cols(); ++j) small_naive(0, j) += small(i, j);
+  }
+  ExpectBitIdentical(ColSum(small), small_naive, "small ColSum vs serial");
+}
+
+// Forces the cost model both ways and requires identical bits: with the
+// threshold at 0 every cost-hinted kernel fans out (2-D GEMM tiles, the
+// ColSum tree combine, row-strip softmax), with it at INT64_MAX every
+// one runs serially inline — and the determinism contract says the
+// bytes must not move between those extremes or across pool sizes. This
+// pins the tiled paths on hosts whose calibrated threshold would
+// otherwise keep these shapes serial.
+TEST(KernelDeterminismTest, ForcedFanOutMatchesForcedSerialBitwise) {
+  Rng rng(50);
+  const Matrix a = Matrix::RandomNormal(128, 96, rng);
+  const Matrix b = Matrix::RandomNormal(96, 112, rng);
+  const Matrix big = Matrix::RandomNormal(1000, 37, rng);
+  ThreadGuard thread_guard;
+  CostGuard cost_guard;
+  internal::SetMinParallelCost(INT64_MAX);
+  SetNumThreads(1);
+  const Matrix mm_ref = MatMul(a, b);
+  const Matrix col_ref = ColSum(big);
+  const Matrix soft_ref = RowSoftmax(big);
+  internal::SetMinParallelCost(0);
+  for (int threads : {1, 2, 4, 8}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(MatMul(a, b), mm_ref, "forced fan-out MatMul");
+    ExpectBitIdentical(ColSum(big), col_ref, "forced fan-out ColSum");
+    ExpectBitIdentical(RowSoftmax(big), soft_ref, "forced fan-out RowSoftmax");
+  }
 }
 
 TEST(KernelDeterminismTest, MapTemplateInlinesLambda) {
