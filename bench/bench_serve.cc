@@ -2,22 +2,32 @@
 // N client threads each submit one embedding request at a time and
 // immediately resubmit on completion (closed loop — offered load tracks
 // service capacity, no coordinated-omission artifacts). The bench
-// sweeps client counts and batching deadlines against a fixed frozen
-// session and writes BENCH_serve.json with throughput, latency
-// percentiles (p50/p95/p99 straight from the serve/latency_us
-// histogram), and realized batch sizes.
+// sweeps client counts, batching deadlines, and ingress shard counts
+// against a fixed frozen session and writes BENCH_serve.json with
+// throughput, latency percentiles (p50/p95/p99 straight from the
+// serve/latency_us histogram), realized batch sizes, and steal counts.
 //
-// The headline comparison: dynamic micro-batching (max_batch_graphs >
-// 1) vs single-request serving (max_batch_graphs = 1) at 8 closed-loop
-// clients. Batching amortizes the per-forward fixed costs (batch
-// assembly, kernel dispatch, pool handshakes, condvar round-trips)
-// across batch-mates, so batched throughput should be a multiple of
-// the single-request number — "speedup_at_8_clients" in the JSON.
+// Headline comparisons:
+//  * dynamic micro-batching (max_batch_graphs > 1) vs single-request
+//    serving (max_batch_graphs = 1) at 8 closed-loop clients —
+//    "speedup_at_8_clients";
+//  * sharded ingress (num_shards = 8) vs the legacy single queue
+//    (num_shards = 1) at 8 clients — "sharded_vs_single_queue", with
+//    both throughputs and p99s recorded side by side.
+//
+// Extra legs:
+//  * a latency-SLO sweep (slo_c*): p99 vs offered load at a fixed
+//    tight batching policy, the curve capacity planning reads;
+//  * a hot-swap-under-load leg: >= 100 ModelRegistry snapshot swaps
+//    while 4 clients hammer the engine — every result must be bitwise
+//    equal to the forward of the exact version it is tagged with, and
+//    nothing may be dropped. The bench exits 1 on any violation.
 //
 // Every request's result is checked against a precomputed reference
 // embedding (bitwise), so the bench doubles as a load-level parity
 // test: a throughput number from wrong embeddings is worthless.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +42,7 @@
 #include "nn/encoders.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
+#include "serve/registry.h"
 #include "serve/session.h"
 
 namespace gradgcl {
@@ -40,27 +51,40 @@ namespace {
 using serve::EmbeddingEngine;
 using serve::EmbedResult;
 using serve::InferenceSession;
+using serve::ModelRegistry;
 using serve::ServeOptions;
 using serve::ServeStatus;
 
 constexpr double kRunSeconds = 0.4;  // per rep
-constexpr int kReps = 3;             // best-of, as in bench_micro_ops
+constexpr int kReps = 5;             // best-of, as in bench_micro_ops
+constexpr int kNumWorkers = 1;       // single-core container: one executor
 
 struct RunConfig {
   std::string label;
   int clients = 1;
   int max_batch_graphs = 16;
   double max_wait_micros = 200.0;
+  int num_shards = 1;
 };
 
 struct RunResult {
   RunConfig config;
   uint64_t completed = 0;
   uint64_t mismatched = 0;
+  uint64_t steals = 0;
   double seconds = 0.0;
   double throughput_rps = 0.0;
   obs::PercentileSummary latency_us;
   double mean_batch_graphs = 0.0;
+};
+
+// Outcome of the hot-swap-under-load leg.
+struct HotSwapResult {
+  int num_shards = 0;
+  uint64_t versions_published = 0;
+  uint64_t completed = 0;
+  uint64_t dropped = 0;
+  uint64_t mismatched = 0;
 };
 
 bool BitIdentical(const Matrix& a, const Matrix& b) {
@@ -75,10 +99,13 @@ RunResult RunClosedLoop(const InferenceSession& session,
                         const RunConfig& config) {
   obs::MetricsRegistry::Instance().Reset();
   ServeOptions opts;
-  opts.num_workers = 1;  // single-core container: one batch executor
+  opts.num_workers = kNumWorkers;
+  opts.num_shards = config.num_shards;
   opts.max_batch_graphs = config.max_batch_graphs;
   opts.max_wait_micros = config.max_wait_micros;
-  opts.max_queue_graphs = 4 * config.clients;  // bounded, never trips here
+  // Bounded but generous: per-shard slices must still fit a client's
+  // request, and admission rejections would poison the parity loop.
+  opts.max_queue_graphs = std::max(64, 8 * config.clients);
   EmbeddingEngine engine(session, opts);
 
   std::atomic<bool> stop{false};
@@ -137,50 +164,185 @@ RunResult RunClosedLoop(const InferenceSession& session,
   const uint64_t batched_graphs = snap.counter("serve/graphs");
   result.mean_batch_graphs =
       batches > 0 ? static_cast<double>(batched_graphs) / batches : 0.0;
+  result.steals = snap.counter("serve/steals");
+  return result;
+}
+
+// >= 100 RCU snapshot swaps under 4-client closed-loop load: every
+// completed request's embeddings must memcmp-equal the forward of the
+// exact parameter state its version tag names, and admission must
+// never reject (the queue bound is sized to make rejects impossible,
+// so any drop is an engine bug).
+HotSwapResult RunHotSwap(const std::vector<Graph>& graphs) {
+  constexpr int kStates = 4;
+  constexpr int kSwaps = 120;
+  std::vector<std::shared_ptr<const InferenceSession>> sessions;
+  std::vector<std::vector<Matrix>> refs(kStates);  // [state][graph]
+  for (int s = 0; s < kStates; ++s) {
+    EncoderConfig config;
+    config.kind = EncoderKind::kGin;
+    config.in_dim = graphs.front().features.cols();
+    config.hidden_dim = 16;
+    config.out_dim = 16;
+    config.num_layers = 2;
+    Rng rng(1000 + static_cast<uint64_t>(s));
+    GraphEncoder encoder(config, rng);
+    sessions.push_back(InferenceSession::FromEncoder(encoder));
+    for (const Graph& g : graphs) {
+      refs[s].push_back(sessions[s]->EmbedGraphs(std::vector<Graph>{g}));
+    }
+  }
+
+  ModelRegistry registry;
+  registry.Publish("live", sessions[0]);  // version v = state (v - 1) % kStates
+  ServeOptions opts;
+  opts.num_workers = kNumWorkers;
+  opts.num_shards = 8;
+  opts.max_batch_graphs = 8;
+  opts.max_wait_micros = 0.0;
+  opts.max_queue_graphs = 1 << 20;  // must never trip: zero drops required
+  EmbeddingEngine engine(registry, "live", opts);
+
+  HotSwapResult result;
+  result.num_shards = engine.num_shards();
+  std::atomic<bool> swapping_done{false};
+  std::thread swapper([&] {
+    for (int v = 2; v <= 1 + kSwaps; ++v) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      registry.Publish("live", sessions[(v - 1) % kStates]);
+    }
+    swapping_done.store(true, std::memory_order_release);
+  });
+
+  constexpr int kClients = 4;
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      uint64_t i = 0;
+      while (!swapping_done.load(std::memory_order_acquire)) {
+        const size_t g = (static_cast<size_t>(c) + i++) % graphs.size();
+        const std::vector<Graph> request{graphs[g]};
+        const EmbedResult r = engine.Embed(request);
+        if (r.status != ServeStatus::kOk) {
+          dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        const bool version_ok = r.model_version >= 1 &&
+                                r.model_version <= 1 + kSwaps &&
+                                r.model_name == "live";
+        const size_t state = static_cast<size_t>((r.model_version - 1)) %
+                             static_cast<size_t>(kStates);
+        if (!version_ok || !BitIdentical(r.embeddings, refs[state][g])) {
+          mismatched.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  swapper.join();
+  for (std::thread& t : clients) t.join();
+  engine.Shutdown();
+  result.versions_published = 1 + kSwaps;
+  result.completed = completed.load();
+  result.dropped = dropped.load();
+  result.mismatched = mismatched.load();
   return result;
 }
 
 void PrintRow(const RunResult& r) {
-  std::printf("%-22s %7d %9d %9.0f %10llu %10.0f %8.0f %8.0f %8.0f %7.2f\n",
-              r.config.label.c_str(), r.config.clients,
-              r.config.max_batch_graphs, r.config.max_wait_micros,
-              static_cast<unsigned long long>(r.completed), r.throughput_rps,
-              r.latency_us.p50, r.latency_us.p95, r.latency_us.p99,
-              r.mean_batch_graphs);
+  std::printf(
+      "%-22s %7d %6d %9d %9.0f %10llu %10.0f %8.0f %8.0f %8.0f %7.2f %7llu\n",
+      r.config.label.c_str(), r.config.clients, r.config.num_shards,
+      r.config.max_batch_graphs, r.config.max_wait_micros,
+      static_cast<unsigned long long>(r.completed), r.throughput_rps,
+      r.latency_us.p50, r.latency_us.p95, r.latency_us.p99,
+      r.mean_batch_graphs, static_cast<unsigned long long>(r.steals));
 }
 
-void WriteJson(const char* path, const std::vector<RunResult>& runs,
-               double speedup_at_8) {
+void WriteRunArray(std::FILE* json, const std::vector<RunResult>& runs) {
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        json,
+        "    {\"label\": %s, \"clients\": %d, \"num_shards\": %d, "
+        "\"max_batch_graphs\": %d, \"max_wait_micros\": %.0f, "
+        "\"completed\": %llu, \"mismatched\": %llu, \"steals\": %llu, "
+        "\"seconds\": %.6f, \"throughput_rps\": %.2f, \"latency_us\": "
+        "{\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f}, "
+        "\"mean_batch_graphs\": %.4f}%s\n",
+        JsonString(r.config.label).c_str(), r.config.clients,
+        r.config.num_shards, r.config.max_batch_graphs,
+        r.config.max_wait_micros, static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.mismatched),
+        static_cast<unsigned long long>(r.steals), r.seconds,
+        r.throughput_rps, r.latency_us.p50, r.latency_us.p95, r.latency_us.p99,
+        r.mean_batch_graphs, i + 1 < runs.size() ? "," : "");
+  }
+}
+
+const RunResult* FindRun(const std::vector<RunResult>& runs,
+                         const std::string& label) {
+  for (const RunResult& r : runs) {
+    if (r.config.label == label) return &r;
+  }
+  return nullptr;
+}
+
+void WriteJson(const char* path, const EncoderConfig& model_config,
+               const InferenceSession& session,
+               const std::vector<RunResult>& runs,
+               const std::vector<RunResult>& slo_runs,
+               const HotSwapResult& hot_swap, double speedup_at_8) {
   std::FILE* json = std::fopen(path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
+  const RunResult* single_queue = FindRun(runs, "batched_c8");
+  const RunResult* sharded = FindRun(runs, "sharded_c8");
   std::fprintf(json,
                "{\n  \"bench\": \"serve\",\n"
                "  \"run_seconds\": %.3f,\n"
                "  \"reps\": %d,\n"
-               "  \"speedup_at_8_clients\": %.4f,\n"
-               "  \"runs\": [\n",
-               kRunSeconds, kReps, speedup_at_8);
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
+               "  \"hardware_threads\": %u,\n"
+               "  \"engine\": {\"num_workers\": %d},\n"
+               "  \"model\": {\"name\": \"default\", \"version\": 1, "
+               "\"encoder\": \"gin\", \"num_layers\": %d, \"hidden_dim\": %d, "
+               "\"out_dim\": %d, \"num_scalar_parameters\": %zu},\n"
+               "  \"speedup_at_8_clients\": %.4f,\n",
+               kRunSeconds, kReps, std::thread::hardware_concurrency(),
+               kNumWorkers, model_config.num_layers, model_config.hidden_dim,
+               model_config.out_dim, session.NumScalarParameters(),
+               speedup_at_8);
+  if (single_queue != nullptr && sharded != nullptr) {
     std::fprintf(
         json,
-        "    {\"label\": %s, \"clients\": %d, \"max_batch_graphs\": %d, "
-        "\"max_wait_micros\": %.0f, \"completed\": %llu, "
-        "\"mismatched\": %llu, \"seconds\": %.6f, "
-        "\"throughput_rps\": %.2f, \"latency_us\": "
-        "{\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f}, "
-        "\"mean_batch_graphs\": %.4f}%s\n",
-        JsonString(r.config.label).c_str(), r.config.clients,
-        r.config.max_batch_graphs, r.config.max_wait_micros,
-        static_cast<unsigned long long>(r.completed),
-        static_cast<unsigned long long>(r.mismatched), r.seconds,
-        r.throughput_rps, r.latency_us.p50, r.latency_us.p95,
-        r.latency_us.p99, r.mean_batch_graphs,
-        i + 1 < runs.size() ? "," : "");
+        "  \"sharded_vs_single_queue\": {\"clients\": 8, "
+        "\"single_queue_rps\": %.2f, \"sharded_rps\": %.2f, "
+        "\"speedup\": %.4f, \"single_queue_p99_us\": %.2f, "
+        "\"sharded_p99_us\": %.2f},\n",
+        single_queue->throughput_rps, sharded->throughput_rps,
+        single_queue->throughput_rps > 0.0
+            ? sharded->throughput_rps / single_queue->throughput_rps
+            : 0.0,
+        single_queue->latency_us.p99, sharded->latency_us.p99);
   }
+  std::fprintf(json,
+               "  \"hot_swap\": {\"num_shards\": %d, "
+               "\"versions_published\": %llu, \"completed\": %llu, "
+               "\"dropped\": %llu, \"mismatched\": %llu},\n",
+               hot_swap.num_shards,
+               static_cast<unsigned long long>(hot_swap.versions_published),
+               static_cast<unsigned long long>(hot_swap.completed),
+               static_cast<unsigned long long>(hot_swap.dropped),
+               static_cast<unsigned long long>(hot_swap.mismatched));
+  std::fprintf(json, "  \"runs\": [\n");
+  WriteRunArray(json, runs);
+  std::fprintf(json, "  ],\n  \"slo_sweep\": [\n");
+  WriteRunArray(json, slo_runs);
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote %s\n", path);
@@ -192,7 +354,7 @@ void WriteJson(const char* path, const std::vector<RunResult>& runs,
 int main() {
   using namespace gradgcl;
 
-  // Frozen session over the standard bench encoder (GIN, dim 32) and
+  // Frozen session over the standard bench encoder (GIN, dim 16) and
   // MUTAG-scale graphs — the small-graph regime where per-request
   // overhead matters most, i.e. where batching has to earn its keep.
   TuProfile profile = TuProfileByName("MUTAG");
@@ -219,11 +381,20 @@ int main() {
 
   std::vector<RunConfig> sweep;
   // Baseline: no coalescing — every request is its own batch.
-  sweep.push_back({"single_request", 8, 1, 0.0});
+  sweep.push_back({"single_request", 8, 1, 0.0, 1});
   // Client scaling with launch-when-free batching (deadline 0: the
-  // worker takes whatever has queued the moment it goes idle).
+  // worker takes whatever has queued the moment it goes idle), on the
+  // legacy single queue.
   for (int clients : {1, 2, 4, 8}) {
-    sweep.push_back({"batched_c" + std::to_string(clients), clients, 16, 0.0});
+    sweep.push_back(
+        {"batched_c" + std::to_string(clients), clients, 16, 0.0, 1});
+  }
+  // Sharded ingress: same policy, submissions spread over 8 shards
+  // (cross-shard top-up keeps batch sizes identical; what changes is
+  // submit-side lock contention).
+  for (int clients : {4, 8}) {
+    sweep.push_back(
+        {"sharded_c" + std::to_string(clients), clients, 16, 0.0, 8});
   }
   // Deadline sweep at 8 clients: with every client blocked in the
   // closed loop the queue never reaches max_batch_graphs, so a nonzero
@@ -231,12 +402,12 @@ int main() {
   // throughput tradeoff the knob buys.
   for (double wait : {50.0, 200.0, 1000.0}) {
     sweep.push_back({"batched_w" + std::to_string(static_cast<int>(wait)), 8,
-                     16, wait});
+                     16, wait, 1});
   }
 
-  std::printf("%-22s %7s %9s %9s %10s %10s %8s %8s %8s %7s\n", "label",
-              "clients", "max_batch", "wait_us", "completed", "rps", "p50us",
-              "p95us", "p99us", "batch");
+  std::printf("%-22s %7s %6s %9s %9s %10s %10s %8s %8s %8s %7s %7s\n", "label",
+              "clients", "shards", "max_batch", "wait_us", "completed", "rps",
+              "p50us", "p95us", "p99us", "batch", "steals");
   std::vector<RunResult> runs;
   uint64_t mismatched_total = 0;
   for (const RunConfig& config : sweep) {
@@ -254,19 +425,66 @@ int main() {
     PrintRow(runs.back());
   }
 
+  // Latency-SLO sweep: p99 vs offered load at a fixed tight batching
+  // policy (8-graph batches, 100us deadline, 8 shards). The closed
+  // loop makes client count the offered-load axis.
+  std::vector<RunResult> slo_runs;
+  for (int clients : {1, 2, 4, 8, 16}) {
+    const RunConfig slo{"slo_c" + std::to_string(clients), clients, 8, 100.0,
+                        8};
+    RunResult best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      RunResult r = RunClosedLoop(*session, graphs, refs, slo);
+      mismatched_total += r.mismatched;
+      if (rep == 0 || r.throughput_rps > best.throughput_rps) {
+        best = std::move(r);
+      }
+    }
+    slo_runs.push_back(std::move(best));
+    PrintRow(slo_runs.back());
+  }
+
+  const HotSwapResult hot_swap = RunHotSwap(graphs);
+  std::printf(
+      "\nhot-swap: %llu versions published under load, %llu completed, "
+      "%llu dropped, %llu mismatched (shards=%d)\n",
+      static_cast<unsigned long long>(hot_swap.versions_published),
+      static_cast<unsigned long long>(hot_swap.completed),
+      static_cast<unsigned long long>(hot_swap.dropped),
+      static_cast<unsigned long long>(hot_swap.mismatched),
+      hot_swap.num_shards);
+
   double single_rps = 0.0, batched_rps = 0.0;
   for (const RunResult& r : runs) {
     if (r.config.label == "single_request") single_rps = r.throughput_rps;
     if (r.config.label == "batched_c8") batched_rps = r.throughput_rps;
   }
   const double speedup = single_rps > 0.0 ? batched_rps / single_rps : 0.0;
-  std::printf("\nbatched vs single-request @ 8 clients: %.2fx\n", speedup);
+  std::printf("batched vs single-request @ 8 clients: %.2fx\n", speedup);
+  if (const RunResult* sq = FindRun(runs, "batched_c8")) {
+    if (const RunResult* sh = FindRun(runs, "sharded_c8")) {
+      std::printf(
+          "sharded(8) vs single queue @ 8 clients: %.2fx rps, "
+          "p99 %.0fus -> %.0fus\n",
+          sq->throughput_rps > 0.0 ? sh->throughput_rps / sq->throughput_rps
+                                   : 0.0,
+          sq->latency_us.p99, sh->latency_us.p99);
+    }
+  }
   if (mismatched_total > 0) {
     std::fprintf(stderr, "FAIL: %llu served embeddings mismatched refs\n",
                  static_cast<unsigned long long>(mismatched_total));
     return 1;
   }
+  if (hot_swap.dropped > 0 || hot_swap.mismatched > 0) {
+    std::fprintf(stderr,
+                 "FAIL: hot-swap leg dropped %llu / mismatched %llu\n",
+                 static_cast<unsigned long long>(hot_swap.dropped),
+                 static_cast<unsigned long long>(hot_swap.mismatched));
+    return 1;
+  }
 
-  WriteJson("BENCH_serve.json", runs, speedup);
+  WriteJson("BENCH_serve.json", config, *session, runs, slo_runs, hot_swap,
+            speedup);
   return 0;
 }

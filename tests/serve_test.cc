@@ -1,10 +1,18 @@
 // Tests for the serving subsystem (src/serve/): bitwise parity of the
 // tape-free InferenceSession forward against the trainer-side encoder
 // (graph + node paths, snapshot load path) across worker counts, SIMD
-// modes, and pooling modes; micro-batcher coalescing correctness;
-// admission control (kOverloaded) and both shutdown modes; and a
-// multi-producer hammer intended to run under TSAN (ctest -L serve on
-// the build-tsan tree).
+// modes, and pooling modes; sharded-ingress correctness (parity across
+// shard counts, per-shard admission splits with the single-shard
+// degenerate case pinned to the legacy semantics, work stealing into
+// workerless shards); ModelRegistry versioning and RCU hot-swap under
+// load (>= 100 snapshot swaps, zero dropped / version-mismatched
+// requests, at 1, 2, and 8 shards); multi-model serving; and
+// multi-producer hammers intended to run under TSAN (ctest -L serve on
+// the build-tsan tree, with GRADGCL_SERVE_SHARDS=2 and =8 legs).
+//
+// Tests that depend on exact batch composition or exact admission
+// arithmetic pin num_shards explicitly so the GRADGCL_SERVE_SHARDS
+// environment legs cannot change their semantics.
 
 #include <atomic>
 #include <cstdio>
@@ -20,7 +28,9 @@
 #include "datasets/tu_synthetic.h"
 #include "nn/encoders.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
+#include "serve/registry.h"
 #include "serve/session.h"
 #include "tensor/pool.h"
 #include "tensor/simd.h"
@@ -31,6 +41,9 @@ namespace {
 using serve::EmbeddingEngine;
 using serve::EmbedResult;
 using serve::InferenceSession;
+using serve::ModelHandle;
+using serve::ModelRegistry;
+using serve::ModelSnapshot;
 using serve::ServeOptions;
 using serve::ServeStatus;
 using serve::ServeStatusName;
@@ -215,29 +228,41 @@ TEST(ServeEngineTest, ParityAcrossWorkerCounts) {
     refs.push_back(h.session->EmbedGraphs(requests.back()));
   }
   for (int workers : {1, 2, 4}) {
-    ServeOptions opts;
-    opts.num_workers = workers;
-    opts.max_batch_graphs = 8;
-    opts.max_wait_micros = 500.0;
-    EmbeddingEngine engine(*h.session, opts);
-    // Concurrent clients so batches actually coalesce.
-    std::vector<Matrix> got(requests.size());
-    std::vector<ServeStatus> status(requests.size(), ServeStatus::kOk);
-    std::vector<std::thread> clients;
-    clients.reserve(requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
-      clients.emplace_back([&, i] {
-        EmbedResult r = engine.Embed(requests[i]);
-        status[i] = r.status;
-        got[i] = std::move(r.embeddings);
-      });
-    }
-    for (std::thread& t : clients) t.join();
-    engine.Shutdown();
-    for (size_t i = 0; i < requests.size(); ++i) {
-      ASSERT_EQ(status[i], ServeStatus::kOk) << "workers=" << workers;
-      EXPECT_TRUE(BitIdentical(got[i], refs[i]))
-          << "workers=" << workers << " request=" << i;
+    for (int shards : {1, 2, 8}) {
+      ServeOptions opts;
+      opts.num_workers = workers;
+      opts.num_shards = shards;
+      opts.max_batch_graphs = 8;
+      opts.max_wait_micros = 500.0;
+      EmbeddingEngine engine(*h.session, opts);
+      ASSERT_EQ(engine.num_shards(), shards);
+      // Concurrent clients so batches actually coalesce (and, with
+      // more shards than workers, so stealing actually happens).
+      std::vector<Matrix> got(requests.size());
+      std::vector<ServeStatus> status(requests.size(), ServeStatus::kOk);
+      std::vector<uint64_t> versions(requests.size(), 0);
+      std::vector<std::thread> clients;
+      clients.reserve(requests.size());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        clients.emplace_back([&, i] {
+          EmbedResult r = engine.Embed(requests[i]);
+          status[i] = r.status;
+          versions[i] = r.model_version;
+          got[i] = std::move(r.embeddings);
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      engine.Shutdown();
+      for (size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_EQ(status[i], ServeStatus::kOk)
+            << "workers=" << workers << " shards=" << shards;
+        EXPECT_TRUE(BitIdentical(got[i], refs[i]))
+            << "workers=" << workers << " shards=" << shards
+            << " request=" << i;
+        // The legacy constructor publishes the session as version 1 of
+        // model "default"; every result must carry that tag.
+        EXPECT_EQ(versions[i], 1u);
+      }
     }
   }
 }
@@ -246,6 +271,7 @@ TEST(ServeEngineTest, CoalescedBatchMatchesPerRequestResults) {
   EngineHarness h;
   ServeOptions opts;
   opts.num_workers = 0;  // manual pump: batch composition is exact
+  opts.num_shards = 1;   // single queue: one RunOneBatch drains it all
   opts.max_batch_graphs = 64;
   EmbeddingEngine engine(*h.session, opts);
 
@@ -286,6 +312,7 @@ TEST(ServeEngineTest, AdmissionControlRejectsWhenFull) {
   EngineHarness h;
   ServeOptions opts;
   opts.num_workers = 0;  // nothing drains: the queue fills determin.
+  opts.num_shards = 1;   // legacy single-queue admission arithmetic
   opts.max_queue_graphs = 2;
   EmbeddingEngine engine(*h.session, opts);
 
@@ -317,6 +344,7 @@ TEST(ServeEngineTest, ShutdownDrainsPendingRequests) {
   EngineHarness h;
   ServeOptions opts;
   opts.num_workers = 0;
+  opts.num_shards = 1;
   EmbeddingEngine engine(*h.session, opts);
   const std::vector<Graph> req = h.RequestGraphs(0, 3);
   std::thread client([&] {
@@ -335,6 +363,7 @@ TEST(ServeEngineTest, ShutdownCancelsPendingRequestsWhenConfigured) {
   EngineHarness h;
   ServeOptions opts;
   opts.num_workers = 0;
+  opts.num_shards = 1;
   opts.cancel_pending_on_shutdown = true;
   EmbeddingEngine engine(*h.session, opts);
   const std::vector<Graph> req = h.RequestGraphs(0, 2);
@@ -352,6 +381,7 @@ TEST(ServeEngineTest, StatusNamesAreStable) {
   EXPECT_STREQ(ServeStatusName(ServeStatus::kOk), "ok");
   EXPECT_STREQ(ServeStatusName(ServeStatus::kOverloaded), "overloaded");
   EXPECT_STREQ(ServeStatusName(ServeStatus::kShutdown), "shutdown");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kUnknownModel), "unknown_model");
 }
 
 // Multi-producer hammer for TSAN: 8 client threads submit mixed-size
@@ -402,6 +432,9 @@ TEST(ServeEngineTest, ConcurrentHammerUnderShutdownAndOverload) {
             EXPECT_TRUE(result.embeddings.empty());
             shutdown.fetch_add(1);
             break;
+          case ServeStatus::kUnknownModel:
+            ADD_FAILURE() << "default model cannot be unknown";
+            break;
         }
       }
     });
@@ -415,6 +448,282 @@ TEST(ServeEngineTest, ConcurrentHammerUnderShutdownAndOverload) {
   EXPECT_GT(ok.load(), 0);
   EXPECT_EQ(ok.load() + overloaded.load() + shutdown.load(),
             kClients * kRequestsPerClient);
+}
+
+// --- Sharded ingress ---------------------------------------------------------
+
+// max_queue_graphs is partitioned across shards; a request no shard's
+// slice can hold is rejected even when the engine is idle, while the
+// single-shard engine keeps the legacy whole-queue bound.
+TEST(ServeEngineTest, ShardedAdmissionSplitsCapacityAcrossShards) {
+  EngineHarness h;
+  {
+    ServeOptions opts;
+    opts.num_workers = 0;
+    opts.num_shards = 2;
+    opts.max_queue_graphs = 4;  // 2 + 2 across the shards
+    EmbeddingEngine engine(*h.session, opts);
+    ASSERT_EQ(engine.num_shards(), 2);
+
+    // 3 graphs > every per-shard slice (2): rejected even though the
+    // engine is idle and 3 <= max_queue_graphs.
+    EXPECT_EQ(engine.Embed(h.RequestGraphs(0, 3)).status,
+              ServeStatus::kOverloaded);
+
+    // Four 1-graph requests fill both slices via the overflow scan...
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.emplace_back([&, i] {
+        EXPECT_EQ(engine.Embed(h.RequestGraphs(i, 1)).status,
+                  ServeStatus::kOk);
+      });
+    }
+    while (engine.QueueDepth() < 4) std::this_thread::yield();
+    // ...and the fifth finds every shard full: total bound preserved.
+    EXPECT_EQ(engine.Embed(h.RequestGraphs(4, 1)).status,
+              ServeStatus::kOverloaded);
+    while (engine.RunOneBatch()) {
+    }
+    for (std::thread& t : clients) t.join();
+    engine.Shutdown();
+  }
+  {
+    // Single-shard degenerate case: the same 3-graph request is
+    // admitted against the undivided bound — exactly the legacy
+    // semantics.
+    ServeOptions opts;
+    opts.num_workers = 0;
+    opts.num_shards = 1;
+    opts.max_queue_graphs = 4;
+    EmbeddingEngine engine(*h.session, opts);
+    std::thread client([&] {
+      EXPECT_EQ(engine.Embed(h.RequestGraphs(0, 3)).status, ServeStatus::kOk);
+    });
+    while (engine.QueueDepth() < 3) std::this_thread::yield();
+    while (engine.RunOneBatch()) {
+    }
+    client.join();
+    engine.Shutdown();
+  }
+}
+
+// One worker homed on shard 0 of 4: requests landing on shards 1..3
+// complete only through the steal path (max_batch_graphs = 1 disables
+// cross-shard top-up, so every foreign batch is a counted steal).
+TEST(ServeEngineTest, WorkStealingServesWorkerlessShards) {
+  EngineHarness h;
+  obs::MetricsRegistry::Instance().Reset();
+  ServeOptions opts;
+  opts.num_workers = 1;
+  opts.num_shards = 4;
+  opts.max_batch_graphs = 1;
+  opts.max_wait_micros = 0.0;
+  EmbeddingEngine engine(*h.session, opts);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 2;
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::vector<Matrix>> refs(h.graphs.size());
+  for (size_t i = 0; i < h.graphs.size(); ++i) {
+    refs[i].push_back(
+        h.session->EmbedGraphs(h.RequestGraphs(static_cast<int>(i), 1)));
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int start =
+            (c * kRequestsPerClient + r) % static_cast<int>(h.graphs.size());
+        EmbedResult result = engine.Embed(h.RequestGraphs(start, 1));
+        if (result.status != ServeStatus::kOk ||
+            !BitIdentical(result.embeddings, refs[start][0])) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  engine.Shutdown();
+  EXPECT_EQ(bad.load(), 0u);
+  // The submitters' round-robin shard picks guarantee requests landed
+  // off the worker's home shard, so at least one batch was stolen.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+  EXPECT_GE(snap.counter("serve/steals"), 1u);
+  EXPECT_EQ(snap.counter("serve/graphs"),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+}
+
+// --- ModelRegistry + hot-swap ------------------------------------------------
+
+std::shared_ptr<const InferenceSession> SessionFromSeed(uint64_t seed) {
+  Rng rng(seed);
+  GraphEncoder encoder(TestConfig(EncoderKind::kGin, ReadoutKind::kMean), rng);
+  return InferenceSession::FromEncoder(encoder);
+}
+
+TEST(ModelRegistryTest, PublishFindVersionsAndRcuPinning) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Find("m"), nullptr);
+
+  const std::shared_ptr<const InferenceSession> s0 = SessionFromSeed(101);
+  const std::shared_ptr<const InferenceSession> s1 = SessionFromSeed(102);
+  EXPECT_EQ(registry.Publish("m", s0), 1u);
+  ModelHandle* handle = registry.Find("m");
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->name(), "m");
+  EXPECT_EQ(handle->CurrentVersion(), 1u);
+
+  // RCU pinning: a reader holding the old snapshot keeps it intact
+  // across a Publish; new readers see the new version.
+  const std::shared_ptr<const ModelSnapshot> pinned = handle->Acquire();
+  EXPECT_EQ(registry.Publish("m", s1), 2u);
+  EXPECT_EQ(handle->CurrentVersion(), 2u);
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(pinned->session.get(), s0.get());
+  EXPECT_EQ(handle->Acquire()->session.get(), s1.get());
+  // Handles are stable across publishes.
+  EXPECT_EQ(registry.Find("m"), handle);
+
+  // Versions are per name.
+  EXPECT_EQ(registry.Publish("other", s0), 1u);
+  const std::vector<std::string> names = registry.ModelNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "m");
+  EXPECT_EQ(names[1], "other");
+}
+
+// The acceptance test for hot-swap: >= 100 snapshot swaps land while
+// clients hammer the engine, and every single request completes (zero
+// dropped) with embeddings memcmp-equal to the forward of the exact
+// version its result is tagged with (zero version-mismatched) — at 1,
+// 2, and 8 shards.
+TEST(ServeEngineTest, HotSwapUnderLoadZeroDroppedZeroMismatched) {
+  constexpr int kStates = 3;    // distinct parameter sets cycled as versions
+  constexpr int kSwaps = 120;   // >= 100 swaps under load
+  const std::vector<Graph> graphs = TestGraphs(12);
+  std::vector<std::shared_ptr<const InferenceSession>> sessions;
+  std::vector<std::vector<Matrix>> refs(kStates);  // [state][graph]
+  for (int s = 0; s < kStates; ++s) {
+    sessions.push_back(SessionFromSeed(200 + s));
+    for (const Graph& g : graphs) {
+      refs[s].push_back(sessions[s]->EmbedGraphs(std::vector<Graph>{g}));
+    }
+  }
+  for (int shards : {1, 2, 8}) {
+    ModelRegistry registry;
+    registry.Publish("live", sessions[0]);  // version 1 = state 0
+    ServeOptions opts;
+    opts.num_workers = 2;
+    opts.num_shards = shards;
+    opts.max_batch_graphs = 8;
+    opts.max_wait_micros = 0.0;
+    opts.max_queue_graphs = 1 << 20;  // must never trip: zero drops required
+    EmbeddingEngine engine(registry, "live", opts);
+
+    std::atomic<bool> swapping_done{false};
+    std::thread swapper([&] {
+      // Version v serves parameter state (v - 1) % kStates.
+      for (int v = 2; v <= 1 + kSwaps; ++v) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        registry.Publish("live", sessions[(v - 1) % kStates]);
+      }
+      swapping_done.store(true, std::memory_order_release);
+    });
+
+    constexpr int kClients = 4;
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> mismatched{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        uint64_t i = 0;
+        while (!swapping_done.load(std::memory_order_acquire)) {
+          const size_t g = (static_cast<size_t>(c) + i++) % graphs.size();
+          const std::vector<Graph> request{graphs[g]};
+          const EmbedResult r = engine.Embed(request);
+          if (r.status != ServeStatus::kOk) {
+            dropped.fetch_add(1);
+            continue;
+          }
+          completed.fetch_add(1);
+          const bool version_ok =
+              r.model_version >= 1 &&
+              r.model_version <= static_cast<uint64_t>(1 + kSwaps) &&
+              r.model_name == "live";
+          const size_t state = static_cast<size_t>((r.model_version - 1)) %
+                               static_cast<size_t>(kStates);
+          if (!version_ok || !BitIdentical(r.embeddings, refs[state][g])) {
+            mismatched.fetch_add(1);
+          }
+        }
+      });
+    }
+    swapper.join();
+    for (std::thread& t : clients) t.join();
+    engine.Shutdown();
+    EXPECT_EQ(registry.Find("live")->CurrentVersion(),
+              static_cast<uint64_t>(1 + kSwaps));
+    EXPECT_EQ(dropped.load(), 0u) << "shards=" << shards;
+    EXPECT_EQ(mismatched.load(), 0u) << "shards=" << shards;
+    EXPECT_GT(completed.load(), 0u) << "shards=" << shards;
+  }
+}
+
+// One engine, several registered models: batches never mix models,
+// every result carries the right tag, and unknown names are rejected
+// without queueing.
+TEST(ServeEngineTest, MultiModelServingKeepsModelsSeparate) {
+  const std::vector<Graph> graphs = TestGraphs(8);
+  ModelRegistry registry;
+  const std::shared_ptr<const InferenceSession> sa = SessionFromSeed(301);
+  const std::shared_ptr<const InferenceSession> sb = SessionFromSeed(302);
+  registry.Publish("a", sa);
+  registry.Publish("b", sb);
+  std::vector<Matrix> refs_a, refs_b;
+  for (const Graph& g : graphs) {
+    refs_a.push_back(sa->EmbedGraphs(std::vector<Graph>{g}));
+    refs_b.push_back(sb->EmbedGraphs(std::vector<Graph>{g}));
+  }
+
+  ServeOptions opts;
+  opts.num_workers = 1;
+  opts.num_shards = 2;
+  opts.max_batch_graphs = 16;
+  opts.max_wait_micros = 100.0;  // encourage cross-request coalescing
+  EmbeddingEngine engine(registry, "a", opts);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 10;
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const bool use_b = c % 2 == 1;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const size_t g = (static_cast<size_t>(c) + r) % graphs.size();
+        const std::vector<Graph> request{graphs[g]};
+        // Even clients use the default model ("a"), odd ones name "b".
+        const EmbedResult result =
+            use_b ? engine.Embed("b", request) : engine.Embed(request);
+        const std::vector<Matrix>& refs = use_b ? refs_b : refs_a;
+        if (result.status != ServeStatus::kOk ||
+            result.model_name != (use_b ? "b" : "a") ||
+            result.model_version != 1 ||
+            !BitIdentical(result.embeddings, refs[g])) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  const EmbedResult unknown = engine.Embed("nope", {graphs[0]});
+  EXPECT_EQ(unknown.status, ServeStatus::kUnknownModel);
+  EXPECT_TRUE(unknown.embeddings.empty());
+  EXPECT_EQ(engine.QueueDepth(), 0);
+  engine.Shutdown();
 }
 
 }  // namespace
