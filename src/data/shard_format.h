@@ -1,0 +1,133 @@
+// On-disk sharded graph container — the format shared by ShardWriter
+// (data/shard_writer.h) and ShardReader (data/shard_reader.h).
+//
+// A dataset is a directory:
+//
+//   <dir>/manifest.ggdm          fixed-size manifest + per-shard counts
+//   <dir>/shard-00000.ggsh       graph records + offset index
+//   <dir>/shard-00001.ggsh       ...
+//
+// Everything is little-endian (statically asserted below — the only
+// hosts this library builds on). All multi-byte fields are naturally
+// aligned so a memory-mapped shard can be read in place.
+//
+// Shard file layout:
+//
+//   [ShardHeader, 48 bytes]
+//   [record 0] [record 1] ... [record N-1]     each 8-byte aligned
+//   [index: uint64 offsets[N + 1]]             at header.index_offset
+//
+// offsets[i] is the byte offset of record i from the start of the
+// file; offsets[N] == index_offset marks the end of the last record,
+// so record i occupies [offsets[i], offsets[i+1]).
+//
+// Graph record (one per graph, CSR-packed adjacency + feature block):
+//
+//   int32  num_nodes             n >= 0
+//   int32  num_edges             e >= 0 (unique undirected edges)
+//   int32  label                 Graph::label (-1 if unlabeled)
+//   int32  feat_encoding         kFeatDenseF64 | kFeatOneHotU8
+//   uint32 row_offsets[n + 1]    CSR row starts into neighbors[]
+//   int32  neighbors[2 * e]      both directions of every edge
+//   (pad to 8)
+//   features                     f64[n * feature_dim]  (dense), or
+//                                u8[n] one-hot column index per node
+//   (pad to 8)
+//
+// Edges are canonicalised on write: (u < v), sorted lexicographically,
+// no duplicates — exactly the order the synthetic generators emit, so
+// a write/read round trip reproduces their Graphs bit-for-bit. CSR
+// rows are sorted ascending, which lets the reader reconstruct the
+// canonical edge list by keeping only the v > u entries.
+//
+// The one-hot feature encoding stores one byte per node instead of
+// feature_dim doubles; the writer selects it automatically when every
+// feature row is exactly one 1.0 among 0.0s (bitwise), which holds for
+// all the synthetic generators. Decoding rebuilds the identical dense
+// Matrix, so the encoding never changes read-back bits — it is what
+// makes a million-graph MoleculeUniverse shard set ~300 MB instead of
+// ~1.6 GB.
+//
+// Readers treat every file as untrusted: all header and index fields
+// are validated against the mapped size before use, and every record
+// field is validated (in 64-bit arithmetic) against the record extent
+// before any allocation, mirroring nn/serialize's LoadStateFile
+// hardening. Corrupt input yields a clean `false`, never an abort or
+// an allocation sized from a lying header.
+
+#ifndef GRADGCL_DATA_SHARD_FORMAT_H_
+#define GRADGCL_DATA_SHARD_FORMAT_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gradgcl::data {
+
+static_assert(std::endian::native == std::endian::little,
+              "the shard format is little-endian on disk and read in place");
+
+inline constexpr char kShardMagic[4] = {'G', 'G', 'S', 'H'};
+inline constexpr char kManifestMagic[4] = {'G', 'G', 'D', 'M'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Feature-block encodings (record field `feat_encoding`).
+inline constexpr int32_t kFeatDenseF64 = 0;
+inline constexpr int32_t kFeatOneHotU8 = 1;
+
+// Fixed shard header. Trailing reserved words keep the header at 48
+// bytes so records start 8-byte aligned.
+struct ShardHeader {
+  char magic[4];
+  uint32_t version;
+  uint32_t num_graphs;
+  uint32_t feature_dim;
+  uint64_t index_offset;  // byte offset of the uint64 offset index
+  uint64_t payload_end;   // == index_offset (redundant cross-check)
+  uint64_t reserved0;
+  uint64_t reserved1;
+};
+static_assert(sizeof(ShardHeader) == 48);
+
+// Fixed manifest header, followed by uint64 graphs_per_shard[num_shards].
+struct ManifestHeader {
+  char magic[4];
+  uint32_t version;
+  uint32_t num_shards;
+  uint32_t feature_dim;
+  uint64_t total_graphs;
+};
+static_assert(sizeof(ManifestHeader) == 24);
+
+// Fixed per-record prefix (before the CSR arrays).
+struct RecordHeader {
+  int32_t num_nodes;
+  int32_t num_edges;
+  int32_t label;
+  int32_t feat_encoding;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+inline constexpr const char* kManifestName = "manifest.ggdm";
+
+// "shard-00042.ggsh" — shard files are named by index, so the manifest
+// only stores counts.
+inline std::string ShardFileName(int shard_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05d.ggsh", shard_index);
+  return buf;
+}
+
+inline int64_t AlignUp8(int64_t n) { return (n + 7) & ~int64_t{7}; }
+
+// Exact (bitwise) graph equality: structure, label, and a memcmp of
+// the feature block. This is the round-trip and streaming-vs-in-RAM
+// contract checked by tests/data_test.cc and bench_data.
+bool GraphsBitwiseEqual(const Graph& a, const Graph& b);
+
+}  // namespace gradgcl::data
+
+#endif  // GRADGCL_DATA_SHARD_FORMAT_H_

@@ -1,0 +1,310 @@
+#include "data/shard_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace gradgcl::data {
+
+namespace {
+
+// Upper bounds on untrusted header fields. feature_dim caps the width
+// a lying shard header can claim; the per-record element cap bounds
+// the one transient allocation a crafted-but-self-consistent record
+// can cost (1 GiB of doubles) — everything else is validated against
+// the mapped extent before any allocation.
+constexpr int64_t kMaxFeatureDim = 65535;
+constexpr int64_t kMaxRecordElements = int64_t{1} << 27;
+
+}  // namespace
+
+ShardReader::~ShardReader() { Close(); }
+
+ShardReader::ShardReader(ShardReader&& other) noexcept { *this = std::move(other); }
+
+ShardReader& ShardReader::operator=(ShardReader&& other) noexcept {
+  if (this != &other) {
+    Close();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    num_graphs_ = std::exchange(other.num_graphs_, 0);
+    feature_dim_ = std::exchange(other.feature_dim_, 0);
+    index_ = std::exchange(other.index_, nullptr);
+  }
+  return *this;
+}
+
+void ShardReader::Close() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(base_), static_cast<size_t>(size_));
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+  num_graphs_ = 0;
+  feature_dim_ = 0;
+  index_ = nullptr;
+}
+
+bool ShardReader::Open(const std::string& path) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<int64_t>(st.st_size) <
+          static_cast<int64_t>(sizeof(ShardHeader))) {
+    ::close(fd);
+    return false;
+  }
+  const int64_t size = static_cast<int64_t>(st.st_size);
+  void* mapped =
+      ::mmap(nullptr, static_cast<size_t>(size), PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mapped == MAP_FAILED) {
+    ::close(fd);
+    return false;
+  }
+  const auto* base = static_cast<const unsigned char*>(mapped);
+
+  ShardHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  const int64_t ng = static_cast<int64_t>(header.num_graphs);
+  const int64_t d = static_cast<int64_t>(header.feature_dim);
+  const int64_t index_offset = static_cast<int64_t>(header.index_offset);
+  // Header sanity — everything in 64-bit so a lying field cannot wrap:
+  // the full (num_graphs + 1)-entry index must sit inside the file
+  // after the records, 8-byte aligned, and the redundant payload_end
+  // must agree.
+  const bool header_ok =
+      std::memcmp(header.magic, kShardMagic, 4) == 0 &&
+      header.version == kFormatVersion && d >= 1 && d <= kMaxFeatureDim &&
+      static_cast<int64_t>(header.payload_end) == index_offset &&
+      index_offset >= static_cast<int64_t>(sizeof(ShardHeader)) &&
+      index_offset % 8 == 0 && (ng + 1) * 8 <= size - index_offset;
+  if (!header_ok) {
+    ::munmap(mapped, static_cast<size_t>(size));
+    ::close(fd);
+    return false;
+  }
+  const auto* index = reinterpret_cast<const uint64_t*>(base + index_offset);
+  // The whole index is validated up front (monotone, in-bounds,
+  // end-sentinel == index_offset): ReadGraph can then trust record
+  // extents without re-checking.
+  bool index_ok =
+      static_cast<int64_t>(index[0]) == static_cast<int64_t>(sizeof(ShardHeader)) &&
+      static_cast<int64_t>(index[ng]) == index_offset;
+  for (int64_t i = 0; index_ok && i < ng; ++i) {
+    // Record starts must stay 8-aligned — decoding reads u32/u64
+    // fields in place, so a corrupt index may not introduce unaligned
+    // access.
+    index_ok = index[i] % 8 == 0 && index[i] <= index[i + 1] &&
+               static_cast<int64_t>(index[i + 1]) <= index_offset;
+  }
+  if (!index_ok) {
+    ::munmap(mapped, static_cast<size_t>(size));
+    ::close(fd);
+    return false;
+  }
+
+  base_ = base;
+  size_ = size;
+  fd_ = fd;
+  num_graphs_ = ng;
+  feature_dim_ = static_cast<int>(d);
+  index_ = index;
+  return true;
+}
+
+bool ShardReader::ReadGraph(int64_t i, Graph* out) const {
+  GRADGCL_CHECK(out != nullptr);
+  GRADGCL_CHECK(is_open() && i >= 0 && i < num_graphs_);
+  const int64_t begin = static_cast<int64_t>(index_[i]);
+  const int64_t extent = static_cast<int64_t>(index_[i + 1]) - begin;
+  if (extent < static_cast<int64_t>(sizeof(RecordHeader))) return false;
+  const unsigned char* rec = base_ + begin;
+
+  RecordHeader rh;
+  std::memcpy(&rh, rec, sizeof(rh));
+  const int64_t n = rh.num_nodes;
+  const int64_t e = rh.num_edges;
+  const int64_t d = feature_dim_;
+  if (n < 0 || e < 0 ||
+      (rh.feat_encoding != kFeatDenseF64 && rh.feat_encoding != kFeatOneHotU8)) {
+    return false;
+  }
+  const bool compact = rh.feat_encoding == kFeatOneHotU8;
+  // Extents in 64-bit: int32 counts cannot overflow these sums.
+  const int64_t csr_end =
+      static_cast<int64_t>(sizeof(RecordHeader)) + (n + 1) * 4 + 2 * e * 4;
+  const int64_t feat_begin = AlignUp8(csr_end);
+  const int64_t feat_bytes = compact ? n : n * d * 8;
+  if (n * d > kMaxRecordElements ||
+      AlignUp8(feat_begin + feat_bytes) > extent) {
+    return false;
+  }
+
+  const auto* row_offsets = reinterpret_cast<const uint32_t*>(rec + sizeof(rh));
+  const auto* neighbors = reinterpret_cast<const int32_t*>(
+      rec + sizeof(rh) + (n + 1) * 4);
+  // CSR structure checks before any allocation: rows partition
+  // [0, 2e), and each row's neighbours are strictly ascending in
+  // [0, n) — which also rules out self loops and duplicates and pins
+  // the canonical edge order.
+  if (row_offsets[0] != 0 ||
+      static_cast<int64_t>(row_offsets[n]) != 2 * e) {
+    return false;
+  }
+  for (int64_t u = 0; u < n; ++u) {
+    const uint32_t row_begin = row_offsets[u];
+    const uint32_t row_end = row_offsets[u + 1];
+    if (row_begin > row_end || static_cast<int64_t>(row_end) > 2 * e) {
+      return false;
+    }
+    for (uint32_t k = row_begin; k < row_end; ++k) {
+      const int32_t v = neighbors[k];
+      if (v < 0 || v >= n || v == u) return false;
+      if (k > row_begin && neighbors[k - 1] >= v) return false;
+    }
+  }
+
+  Graph g;
+  g.num_nodes = static_cast<int>(n);
+  g.label = rh.label;
+  g.edges.reserve(static_cast<size_t>(e));
+  for (int64_t u = 0; u < n; ++u) {
+    for (uint32_t k = row_offsets[u]; k < row_offsets[u + 1]; ++k) {
+      const int32_t v = neighbors[k];
+      if (v > u) g.edges.emplace_back(static_cast<int>(u), v);
+    }
+  }
+  if (static_cast<int64_t>(g.edges.size()) != e) return false;
+
+  const unsigned char* feat = rec + feat_begin;
+  if (compact) {
+    // Validate the type bytes before materialising the dense matrix.
+    for (int64_t u = 0; u < n; ++u) {
+      if (static_cast<int64_t>(feat[u]) >= d) return false;
+    }
+    g.features = Matrix(static_cast<int>(n), static_cast<int>(d), 0.0);
+    for (int64_t u = 0; u < n; ++u) {
+      g.features(static_cast<int>(u), feat[u]) = 1.0;
+    }
+  } else {
+    g.features = Matrix::Uninitialized(static_cast<int>(n), static_cast<int>(d));
+    if (n * d > 0) {
+      std::memcpy(g.features.data(), feat, static_cast<size_t>(n * d * 8));
+    }
+  }
+  *out = std::move(g);
+  return true;
+}
+
+void ShardReader::DropPageCache() const {
+  if (!is_open()) return;
+  // Both calls are best-effort: MADV_DONTNEED drops the resident
+  // mapping, POSIX_FADV_DONTNEED the (clean, read-only) page-cache
+  // copy — together they give benches a cold-cache read without root.
+  ::madvise(const_cast<unsigned char*>(base_), static_cast<size_t>(size_),
+            MADV_DONTNEED);
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+}
+
+bool ShardedDataset::Open(const std::string& dir) {
+  shards_.clear();
+  shard_begin_.clear();
+  total_graphs_ = 0;
+  feature_dim_ = 0;
+
+  const std::string path = dir + "/" + kManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  // Manifest validation mirrors the shard header: fixed header first,
+  // then the per-shard count array whose length must exactly match the
+  // file size.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < static_cast<long>(sizeof(ManifestHeader)) ||
+      std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  ManifestHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1 ||
+      std::memcmp(header.magic, kManifestMagic, 4) != 0 ||
+      header.version != kFormatVersion || header.feature_dim < 1 ||
+      static_cast<int64_t>(header.feature_dim) > kMaxFeatureDim) {
+    std::fclose(f);
+    return false;
+  }
+  const int64_t num_shards = static_cast<int64_t>(header.num_shards);
+  if (static_cast<int64_t>(file_size) !=
+      static_cast<int64_t>(sizeof(ManifestHeader)) + num_shards * 8) {
+    std::fclose(f);
+    return false;
+  }
+  std::vector<uint64_t> counts(static_cast<size_t>(num_shards));
+  if (num_shards > 0 &&
+      std::fread(counts.data(), 8, counts.size(), f) != counts.size()) {
+    std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+
+  int64_t total = 0;
+  std::vector<ShardReader> shards;
+  std::vector<int64_t> begins = {0};
+  for (int64_t s = 0; s < num_shards; ++s) {
+    ShardReader reader;
+    if (counts[s] > static_cast<uint64_t>(UINT32_MAX) ||
+        !reader.Open(dir + "/" + ShardFileName(static_cast<int>(s))) ||
+        reader.num_graphs() != static_cast<int64_t>(counts[s]) ||
+        reader.feature_dim() != static_cast<int>(header.feature_dim)) {
+      return false;
+    }
+    total += reader.num_graphs();
+    begins.push_back(total);
+    shards.push_back(std::move(reader));
+  }
+  if (total != static_cast<int64_t>(header.total_graphs)) return false;
+
+  shards_ = std::move(shards);
+  shard_begin_ = std::move(begins);
+  total_graphs_ = total;
+  feature_dim_ = static_cast<int>(header.feature_dim);
+  return true;
+}
+
+bool ShardedDataset::ReadGraph(int64_t i, Graph* out) const {
+  GRADGCL_CHECK(i >= 0 && i < total_graphs_);
+  const auto it =
+      std::upper_bound(shard_begin_.begin(), shard_begin_.end(), i);
+  const int shard = static_cast<int>(it - shard_begin_.begin()) - 1;
+  return shards_[shard].ReadGraph(i - shard_begin_[shard], out);
+}
+
+std::vector<Graph> ShardedDataset::ReadAll() const {
+  std::vector<Graph> graphs(static_cast<size_t>(total_graphs_));
+  for (int64_t i = 0; i < total_graphs_; ++i) {
+    GRADGCL_CHECK_MSG(ReadGraph(i, &graphs[static_cast<size_t>(i)]),
+                      "corrupt shard record");
+  }
+  return graphs;
+}
+
+void ShardedDataset::DropPageCache() const {
+  for (const ShardReader& shard : shards_) shard.DropPageCache();
+}
+
+}  // namespace gradgcl::data

@@ -1,0 +1,102 @@
+// Memory-mapped readers for the sharded graph container
+// (data/shard_format.h): ShardReader maps one shard file, and
+// ShardedDataset stitches a manifest's shards into one randomly
+// addressable graph collection.
+//
+// Shards are mapped read-only and decoded in place — no buffered I/O,
+// no per-read syscalls; the page cache is the only copy of the file
+// bytes until a Graph is materialised. Every header, index, and record
+// field is validated (64-bit arithmetic) against the mapped extent
+// before use, so corrupt or truncated files of any shape yield a clean
+// `false` with no allocation sized from untrusted fields.
+//
+// All read methods are const and touch no mutable state: concurrent
+// ReadGraph calls from any number of threads are safe (the
+// PrefetchReader's reader pool relies on this).
+
+#ifndef GRADGCL_DATA_SHARD_READER_H_
+#define GRADGCL_DATA_SHARD_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/shard_format.h"
+
+namespace gradgcl::data {
+
+// One memory-mapped shard file.
+class ShardReader {
+ public:
+  ShardReader() = default;
+  ~ShardReader();
+
+  ShardReader(ShardReader&& other) noexcept;
+  ShardReader& operator=(ShardReader&& other) noexcept;
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+
+  // Maps and validates `path` (magic, version, header bounds, full
+  // offset index). Returns false — mapping nothing — on any I/O error
+  // or structural corruption.
+  bool Open(const std::string& path);
+
+  bool is_open() const { return base_ != nullptr; }
+  int64_t num_graphs() const { return num_graphs_; }
+  int feature_dim() const { return feature_dim_; }
+
+  // Decodes record i into *out. Returns false (leaving *out
+  // unspecified but valid) if the record bytes are corrupt. Requires
+  // 0 <= i < num_graphs(). Thread-safe.
+  bool ReadGraph(int64_t i, Graph* out) const;
+
+  // Advises the kernel to drop this shard's cached pages
+  // (posix_fadvise DONTNEED) — lets benches measure cold-cache reads
+  // without root. Best-effort.
+  void DropPageCache() const;
+
+ private:
+  void Close();
+
+  const unsigned char* base_ = nullptr;  // mmap base, nullptr when closed
+  int64_t size_ = 0;
+  int fd_ = -1;
+  int64_t num_graphs_ = 0;
+  int feature_dim_ = 0;
+  const uint64_t* index_ = nullptr;  // num_graphs_ + 1 entries, validated
+};
+
+// A dataset directory: manifest + one ShardReader per shard.
+class ShardedDataset {
+ public:
+  ShardedDataset() = default;
+
+  // Opens <dir>/manifest.ggdm and every shard it names; validates
+  // shard headers against the manifest (counts, feature_dim). Returns
+  // false on any corruption, leaving the dataset empty.
+  bool Open(const std::string& dir);
+
+  int64_t num_graphs() const { return total_graphs_; }
+  int feature_dim() const { return feature_dim_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Decodes global graph i. Thread-safe. Requires 0 <= i < num_graphs().
+  bool ReadGraph(int64_t i, Graph* out) const;
+
+  // Materialises the whole dataset in RAM (small datasets / tests).
+  // Aborts on read failure.
+  std::vector<Graph> ReadAll() const;
+
+  // Drops every shard's cached pages (see ShardReader::DropPageCache).
+  void DropPageCache() const;
+
+ private:
+  std::vector<ShardReader> shards_;
+  std::vector<int64_t> shard_begin_;  // prefix sums, size num_shards + 1
+  int64_t total_graphs_ = 0;
+  int feature_dim_ = 0;
+};
+
+}  // namespace gradgcl::data
+
+#endif  // GRADGCL_DATA_SHARD_READER_H_

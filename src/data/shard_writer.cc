@@ -1,0 +1,238 @@
+#include "data/shard_writer.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace gradgcl::data {
+
+namespace {
+
+bool WriteBytes(std::FILE* f, const void* p, size_t n) {
+  return n == 0 || std::fwrite(p, 1, n, f) == n;
+}
+
+// Detects the compact one-hot encoding: every row must be exactly one
+// 1.0 among 0.0s, bitwise (no tolerance — a near-one-hot row falls
+// back to dense so decoding is always an identity).
+bool IsExactOneHot(const Matrix& features, std::vector<uint8_t>* types) {
+  types->clear();
+  types->reserve(features.rows());
+  for (int i = 0; i < features.rows(); ++i) {
+    int hot = -1;
+    for (int j = 0; j < features.cols(); ++j) {
+      const double v = features(i, j);
+      if (v == 1.0) {
+        if (hot >= 0) return false;
+        hot = j;
+      } else if (v != 0.0 || std::signbit(v)) {
+        return false;
+      }
+    }
+    if (hot < 0 || hot > 255) return false;
+    types->push_back(static_cast<uint8_t>(hot));
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardWriter::ShardWriter(std::string dir, ShardWriterOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  GRADGCL_CHECK(options_.feature_dim > 0);
+  GRADGCL_CHECK(options_.graphs_per_shard > 0);
+  // Best-effort recursive create (mkdir -p semantics); an unusable
+  // directory surfaces as fopen failure on the first shard.
+  for (size_t pos = 0; pos != std::string::npos;) {
+    pos = dir_.find('/', pos + 1);
+    const std::string prefix = dir_.substr(0, pos);
+    if (!prefix.empty() && prefix != ".") ::mkdir(prefix.c_str(), 0755);
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  if (shard_ != nullptr) std::fclose(shard_);
+}
+
+bool ShardWriter::OpenShard() {
+  const std::string path =
+      dir_ + "/" + ShardFileName(static_cast<int>(shard_counts_.size()));
+  shard_ = std::fopen(path.c_str(), "wb");
+  if (shard_ == nullptr) return false;
+  // Placeholder header; CloseShard seeks back and patches the real
+  // graph count and index offset.
+  ShardHeader header{};
+  std::memcpy(header.magic, kShardMagic, 4);
+  header.version = kFormatVersion;
+  header.feature_dim = static_cast<uint32_t>(options_.feature_dim);
+  if (!WriteBytes(shard_, &header, sizeof(header))) return false;
+  shard_bytes_ = sizeof(ShardHeader);
+  shard_graphs_ = 0;
+  offsets_.clear();
+  return true;
+}
+
+bool ShardWriter::CloseShard() {
+  offsets_.push_back(static_cast<uint64_t>(shard_bytes_));  // end sentinel
+  const uint64_t index_offset = static_cast<uint64_t>(shard_bytes_);
+  if (!WriteBytes(shard_, offsets_.data(), offsets_.size() * sizeof(uint64_t))) {
+    return false;
+  }
+  ShardHeader header{};
+  std::memcpy(header.magic, kShardMagic, 4);
+  header.version = kFormatVersion;
+  header.num_graphs = static_cast<uint32_t>(shard_graphs_);
+  header.feature_dim = static_cast<uint32_t>(options_.feature_dim);
+  header.index_offset = index_offset;
+  header.payload_end = index_offset;
+  if (std::fseek(shard_, 0, SEEK_SET) != 0 ||
+      !WriteBytes(shard_, &header, sizeof(header)) ||
+      std::fflush(shard_) != 0) {
+    return false;
+  }
+  const bool closed = std::fclose(shard_) == 0;
+  shard_ = nullptr;
+  if (closed) shard_counts_.push_back(static_cast<uint64_t>(shard_graphs_));
+  return closed;
+}
+
+bool ShardWriter::Add(const Graph& g) {
+  GRADGCL_CHECK(!finalized_);
+  if (!ok_) return false;
+  GRADGCL_CHECK(g.num_nodes >= 0);
+  GRADGCL_CHECK(g.features.rows() == g.num_nodes);
+  GRADGCL_CHECK_MSG(g.features.cols() == options_.feature_dim,
+                    "graph feature_dim does not match the writer's");
+
+  if (shard_ == nullptr && !OpenShard()) {
+    ok_ = false;
+    return false;
+  }
+
+  const int n = g.num_nodes;
+  const int e = g.num_edges();
+
+  // Canonical edge list: u < v, lexicographically sorted, unique.
+  std::vector<std::pair<int, int>> edges = g.edges;
+  for (auto& [u, v] : edges) {
+    GRADGCL_CHECK(u >= 0 && u < n && v >= 0 && v < n && u != v);
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  GRADGCL_CHECK_MSG(
+      std::adjacent_find(edges.begin(), edges.end()) == edges.end(),
+      "duplicate undirected edge");
+
+  // CSR with sorted rows: scanning the sorted edge list appends each
+  // node's smaller endpoints before its larger ones, both ascending.
+  std::vector<uint32_t> row_offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++row_offsets[u + 1];
+    ++row_offsets[v + 1];
+  }
+  for (int i = 0; i < n; ++i) row_offsets[i + 1] += row_offsets[i];
+  std::vector<int32_t> neighbors(2 * static_cast<size_t>(e));
+  {
+    std::vector<uint32_t> cursor(row_offsets.begin(), row_offsets.end() - 1);
+    for (const auto& [u, v] : edges) {
+      neighbors[cursor[u]++] = v;
+      neighbors[cursor[v]++] = u;
+    }
+  }
+
+  std::vector<uint8_t> one_hot;
+  const bool compact = IsExactOneHot(g.features, &one_hot);
+
+  RecordHeader rec;
+  rec.num_nodes = n;
+  rec.num_edges = e;
+  rec.label = g.label;
+  rec.feat_encoding = compact ? kFeatOneHotU8 : kFeatDenseF64;
+
+  const int64_t csr_end = static_cast<int64_t>(sizeof(RecordHeader)) +
+                          static_cast<int64_t>(row_offsets.size()) * 4 +
+                          static_cast<int64_t>(neighbors.size()) * 4;
+  const int64_t feat_begin = AlignUp8(csr_end);
+  const int64_t feat_bytes =
+      compact ? n : static_cast<int64_t>(n) * options_.feature_dim * 8;
+  const int64_t record_bytes = AlignUp8(feat_begin + feat_bytes);
+
+  static constexpr char kPad[8] = {0};
+  offsets_.push_back(static_cast<uint64_t>(shard_bytes_));
+  ok_ = WriteBytes(shard_, &rec, sizeof(rec)) &&
+        WriteBytes(shard_, row_offsets.data(), row_offsets.size() * 4) &&
+        WriteBytes(shard_, neighbors.data(), neighbors.size() * 4) &&
+        WriteBytes(shard_, kPad, static_cast<size_t>(feat_begin - csr_end));
+  if (ok_) {
+    ok_ = compact ? WriteBytes(shard_, one_hot.data(), one_hot.size())
+                  : WriteBytes(shard_, g.features.data(),
+                               static_cast<size_t>(feat_bytes));
+  }
+  if (ok_) {
+    ok_ = WriteBytes(shard_, kPad,
+                     static_cast<size_t>(record_bytes - feat_begin - feat_bytes));
+  }
+  if (!ok_) return false;
+
+  shard_bytes_ += record_bytes;
+  ++shard_graphs_;
+  ++total_graphs_;
+  if (shard_graphs_ >= options_.graphs_per_shard) {
+    ok_ = CloseShard();
+  }
+  return ok_;
+}
+
+bool ShardWriter::Finalize() {
+  GRADGCL_CHECK(!finalized_);
+  finalized_ = true;
+  if (!ok_) return false;
+  // An empty dataset still writes one empty shard so readers have a
+  // well-formed file per manifest entry.
+  if (shard_ == nullptr && shard_counts_.empty() && !OpenShard()) {
+    ok_ = false;
+    return false;
+  }
+  if (shard_ != nullptr && !CloseShard()) {
+    ok_ = false;
+    return false;
+  }
+
+  const std::string path = dir_ + "/" + kManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    ok_ = false;
+    return false;
+  }
+  ManifestHeader header{};
+  std::memcpy(header.magic, kManifestMagic, 4);
+  header.version = kFormatVersion;
+  header.num_shards = static_cast<uint32_t>(shard_counts_.size());
+  header.feature_dim = static_cast<uint32_t>(options_.feature_dim);
+  header.total_graphs = static_cast<uint64_t>(total_graphs_);
+  ok_ = WriteBytes(f, &header, sizeof(header)) &&
+        WriteBytes(f, shard_counts_.data(),
+                   shard_counts_.size() * sizeof(uint64_t)) &&
+        std::fflush(f) == 0;
+  ok_ = (std::fclose(f) == 0) && ok_;
+  return ok_;
+}
+
+bool GraphsBitwiseEqual(const Graph& a, const Graph& b) {
+  if (a.num_nodes != b.num_nodes || a.label != b.label || a.edges != b.edges) {
+    return false;
+  }
+  if (a.features.rows() != b.features.rows() ||
+      a.features.cols() != b.features.cols()) {
+    return false;
+  }
+  return a.features.size() == 0 ||
+         std::memcmp(a.features.data(), b.features.data(),
+                     static_cast<size_t>(a.features.size()) *
+                         sizeof(double)) == 0;
+}
+
+}  // namespace gradgcl::data

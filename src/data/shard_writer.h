@@ -1,0 +1,84 @@
+// Streaming writer for the sharded on-disk graph container
+// (data/shard_format.h). Graphs are appended one at a time and flushed
+// straight to the current shard file, so writing a million-graph
+// dataset never holds more than one graph (plus the current shard's
+// offset index, 8 bytes per graph) in RAM — the synthetic generators
+// stream into it via their ForEach* hooks.
+
+#ifndef GRADGCL_DATA_SHARD_WRITER_H_
+#define GRADGCL_DATA_SHARD_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/shard_format.h"
+
+namespace gradgcl::data {
+
+struct ShardWriterOptions {
+  // Node-feature width every written graph must match.
+  int feature_dim = 0;
+  // Shard rollover threshold; the last shard may be smaller.
+  int64_t graphs_per_shard = 65536;
+};
+
+// Writes a dataset directory shard by shard. Not thread-safe (one
+// producer streams into it). Usage:
+//
+//   ShardWriter writer(dir, {.feature_dim = 8});
+//   for (...) writer.Add(graph);
+//   GRADGCL_CHECK(writer.Finalize());
+//
+// Add/Finalize return false on I/O failure (disk full, unwritable
+// directory) and leave the writer in a failed state; structural
+// violations in the input graphs (feature shape mismatch, out-of-range
+// edge endpoints, self loops, duplicate edges) abort via GRADGCL_CHECK
+// — this side of the format trusts its in-process producer, the reader
+// side trusts nothing.
+class ShardWriter {
+ public:
+  // Creates `dir` if missing (one level, mkdir semantics).
+  ShardWriter(std::string dir, ShardWriterOptions options);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  // Appends one graph record to the current shard, rolling over to a
+  // new shard file when graphs_per_shard is reached. Edges are
+  // canonicalised to (u < v, lexicographically sorted) order.
+  bool Add(const Graph& g);
+
+  // Closes the open shard (patching its header and appending its
+  // index) and writes the manifest. Must be called exactly once; no
+  // Add after. Returns false on I/O failure.
+  bool Finalize();
+
+  bool ok() const { return ok_; }
+  int64_t graphs_written() const { return total_graphs_; }
+  int num_shards() const { return static_cast<int>(shard_counts_.size()) +
+                                  (shard_ != nullptr ? 1 : 0); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  bool OpenShard();
+  bool CloseShard();
+
+  std::string dir_;
+  ShardWriterOptions options_;
+  bool ok_ = true;
+  bool finalized_ = false;
+
+  std::FILE* shard_ = nullptr;      // current shard, nullptr between shards
+  int64_t shard_graphs_ = 0;        // graphs in the current shard
+  int64_t shard_bytes_ = 0;         // bytes written to the current shard
+  std::vector<uint64_t> offsets_;   // record offsets of the current shard
+  std::vector<uint64_t> shard_counts_;  // graphs per closed shard
+  int64_t total_graphs_ = 0;
+};
+
+}  // namespace gradgcl::data
+
+#endif  // GRADGCL_DATA_SHARD_WRITER_H_

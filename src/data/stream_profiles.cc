@@ -1,0 +1,50 @@
+#include "data/stream_profiles.h"
+
+#include <cstdlib>
+
+namespace gradgcl::data {
+
+std::string DefaultDataDir() {
+  if (const char* env = std::getenv("GRADGCL_DATA_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  return "./data";
+}
+
+bool StreamTuDataset(const TuProfile& profile, uint64_t seed,
+                     const std::string& dir, int64_t graphs_per_shard) {
+  ShardWriter writer(dir, ShardWriterOptions{.feature_dim = profile.feature_dim,
+                                             .graphs_per_shard =
+                                                 graphs_per_shard});
+  ForEachTuGraph(profile, seed, [&](Graph&& g) { writer.Add(g); });
+  return writer.Finalize();
+}
+
+bool StreamPretrainSet(PretrainKind kind, int64_t num_graphs, uint64_t seed,
+                       const std::string& dir, int64_t graphs_per_shard) {
+  GRADGCL_CHECK(num_graphs > 0 && num_graphs <= INT32_MAX);
+  ShardWriter writer(dir, ShardWriterOptions{.feature_dim = kNumAtomTypes,
+                                             .graphs_per_shard =
+                                                 graphs_per_shard});
+  ForEachPretrainGraph(kind, static_cast<int>(num_graphs), seed,
+                       [&](Graph&& g) { writer.Add(g); });
+  return writer.Finalize();
+}
+
+bool StreamNodeDataset(const NodeProfile& profile, uint64_t seed,
+                       const std::string& dir) {
+  const NodeDataset dataset = GenerateNodeDataset(profile, seed);
+  ShardWriter writer(dir,
+                     ShardWriterOptions{.feature_dim = profile.feature_dim,
+                                        .graphs_per_shard = 1});
+  writer.Add(dataset.graph);
+  return writer.Finalize();
+}
+
+bool StreamMoleculeUniverseAtScale(const UniverseScaleProfile& profile,
+                                   const std::string& dir) {
+  return StreamPretrainSet(PretrainKind::kZinc, profile.num_graphs,
+                           profile.seed, dir, profile.graphs_per_shard);
+}
+
+}  // namespace gradgcl::data

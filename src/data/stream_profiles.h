@@ -1,0 +1,64 @@
+// Streams the synthetic generators into sharded on-disk datasets —
+// the bridge between datasets/ (ForEach* per-graph emission) and the
+// ShardWriter. Peak RAM is one graph plus one shard's offset index,
+// independent of dataset size, which is what makes the
+// MoleculeUniverse-at-scale profile (ZINC-2M-class, millions of
+// pre-train graphs) writable on a laptop.
+//
+// Every function is deterministic in its seed and produces shards
+// whose read-back is bit-identical to the corresponding in-RAM
+// generator output (pinned by tests/data_test.cc).
+
+#ifndef GRADGCL_DATA_STREAM_PROFILES_H_
+#define GRADGCL_DATA_STREAM_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/shard_writer.h"
+#include "datasets/molecule_universe.h"
+#include "datasets/node_synthetic.h"
+#include "datasets/tu_synthetic.h"
+
+namespace gradgcl::data {
+
+// Root directory for on-disk shard datasets: $GRADGCL_DATA_DIR if set,
+// else "./data". Benches place their generated corpora under it so an
+// expensive at-scale write can be reused across runs.
+std::string DefaultDataDir();
+
+// Writes GenerateTuDataset(profile, seed) to `dir` shard by shard.
+// Returns false on I/O failure.
+bool StreamTuDataset(const TuProfile& profile, uint64_t seed,
+                     const std::string& dir,
+                     int64_t graphs_per_shard = 65536);
+
+// Writes GeneratePretrainSet(kind, num_graphs, seed) to `dir` shard by
+// shard. Returns false on I/O failure.
+bool StreamPretrainSet(PretrainKind kind, int64_t num_graphs, uint64_t seed,
+                       const std::string& dir,
+                       int64_t graphs_per_shard = 65536);
+
+// Writes a node dataset's single graph as a one-graph dataset (the
+// full-graph node-level trainers read it back whole). Returns false on
+// I/O failure.
+bool StreamNodeDataset(const NodeProfile& profile, uint64_t seed,
+                       const std::string& dir);
+
+// The MoleculeUniverse-at-scale pre-training profile: `num_graphs`
+// ZINC-sim molecules (paper scale: >= 1M, the ZINC-2M regime of
+// GradGCL's transfer setting). Generation is chunked per shard; the
+// generator Rng stream is identical to GeneratePretrainSet(kZinc,
+// num_graphs, seed), so any prefix read back from disk matches the
+// in-RAM corpus bit-for-bit.
+struct UniverseScaleProfile {
+  int64_t num_graphs = 1'000'000;
+  uint64_t seed = 2024;
+  int64_t graphs_per_shard = 65536;
+};
+bool StreamMoleculeUniverseAtScale(const UniverseScaleProfile& profile,
+                                   const std::string& dir);
+
+}  // namespace gradgcl::data
+
+#endif  // GRADGCL_DATA_STREAM_PROFILES_H_

@@ -136,15 +136,21 @@ Graph SamplePpiGraph(Rng& rng) {
 
 std::vector<Graph> GeneratePretrainSet(PretrainKind kind, int num_graphs,
                                        uint64_t seed) {
-  GRADGCL_CHECK(num_graphs > 0);
-  Rng rng(seed);
   std::vector<Graph> graphs;
   graphs.reserve(num_graphs);
-  for (int i = 0; i < num_graphs; ++i) {
-    graphs.push_back(kind == PretrainKind::kZinc ? SampleMolecule(rng)
-                                                 : SamplePpiGraph(rng));
-  }
+  ForEachPretrainGraph(kind, num_graphs, seed,
+                       [&](Graph&& g) { graphs.push_back(std::move(g)); });
   return graphs;
+}
+
+void ForEachPretrainGraph(PretrainKind kind, int num_graphs, uint64_t seed,
+                          const std::function<void(Graph&&)>& consume) {
+  GRADGCL_CHECK(num_graphs > 0);
+  Rng rng(seed);
+  for (int i = 0; i < num_graphs; ++i) {
+    consume(kind == PretrainKind::kZinc ? SampleMolecule(rng)
+                                        : SamplePpiGraph(rng));
+  }
 }
 
 int RingCount(const Graph& g) {

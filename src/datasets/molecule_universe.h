@@ -16,6 +16,7 @@
 #ifndef GRADGCL_DATASETS_MOLECULE_UNIVERSE_H_
 #define GRADGCL_DATASETS_MOLECULE_UNIVERSE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,14 @@ inline constexpr int kNumAtomTypes = 8;
 // Generates an unlabeled pre-training corpus. Deterministic in `seed`.
 std::vector<Graph> GeneratePretrainSet(PretrainKind kind, int num_graphs,
                                        uint64_t seed);
+
+// Streaming form: emits exactly the graphs GeneratePretrainSet(kind,
+// num_graphs, seed) would return, in order, one at a time — same Rng
+// stream, same bits — without materialising the corpus. This is what
+// makes the ZINC-2M-class MoleculeUniverse-at-scale profile writable
+// shard by shard (data/stream_profiles.h) with one graph in RAM.
+void ForEachPretrainGraph(PretrainKind kind, int num_graphs, uint64_t seed,
+                          const std::function<void(Graph&&)>& consume);
 
 // Names of the supported fine-tune tasks, in Table VI column order:
 // PPI, BBBP, ToxCast, SIDER, BACE, ClinTox, MUV, Tox21, HIV.

@@ -71,10 +71,17 @@ void Connectify(std::set<std::pair<int, int>>& edges, int n, Rng& rng) {
 }  // namespace
 
 std::vector<Graph> GenerateTuDataset(const TuProfile& profile, uint64_t seed) {
-  GRADGCL_CHECK(profile.num_graphs > 0 && profile.num_classes >= 2);
-  Rng rng(seed);
   std::vector<Graph> graphs;
   graphs.reserve(profile.num_graphs);
+  ForEachTuGraph(profile, seed,
+                 [&](Graph&& g) { graphs.push_back(std::move(g)); });
+  return graphs;
+}
+
+void ForEachTuGraph(const TuProfile& profile, uint64_t seed,
+                    const std::function<void(Graph&&)>& consume) {
+  GRADGCL_CHECK(profile.num_graphs > 0 && profile.num_classes >= 2);
+  Rng rng(seed);
 
   for (int gi = 0; gi < profile.num_graphs; ++gi) {
     const int label = gi % profile.num_classes;  // balanced classes
@@ -132,9 +139,8 @@ std::vector<Graph> GenerateTuDataset(const TuProfile& profile, uint64_t seed) {
       const int bucket = std::min(profile.feature_dim - 1, deg[i]);
       g.features(i, bucket) = 1.0;
     }
-    graphs.push_back(std::move(g));
+    consume(std::move(g));
   }
-  return graphs;
 }
 
 }  // namespace gradgcl

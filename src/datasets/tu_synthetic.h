@@ -17,6 +17,7 @@
 #ifndef GRADGCL_DATASETS_TU_SYNTHETIC_H_
 #define GRADGCL_DATASETS_TU_SYNTHETIC_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,14 @@ TuProfile TuProfileByName(const std::string& name);
 // Generates the dataset for `profile`; deterministic in `seed`.
 // Labels are balanced round-robin across classes.
 std::vector<Graph> GenerateTuDataset(const TuProfile& profile, uint64_t seed);
+
+// Streaming form: emits exactly the graphs GenerateTuDataset(profile,
+// seed) would return, in order, one at a time — same Rng stream, same
+// bits — without materialising the dataset. Lets a ShardWriter
+// (data/shard_writer.h) persist arbitrarily large profiles while only
+// one graph lives in RAM.
+void ForEachTuGraph(const TuProfile& profile, uint64_t seed,
+                    const std::function<void(Graph&&)>& consume);
 
 }  // namespace gradgcl
 

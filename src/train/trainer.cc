@@ -99,6 +99,71 @@ std::vector<EpochStats> TrainGraphSsl(
   return history;
 }
 
+std::vector<EpochStats> TrainGraphSslStreamed(
+    GraphSslModel& model, GraphBatchSource& source,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  const int64_t n = source.num_graphs();
+  GRADGCL_CHECK(n >= 2);
+  Adam optimizer(model.parameters(), options.lr, 0.9, 0.999, 1e-8,
+                 options.weight_decay);
+  Rng rng(options.seed);
+
+  obs::CollapseMonitor& monitor = obs::CollapseMonitor::Instance();
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  int64_t global_step = 0;
+  // Reused across steps: the gathered batch and its identity index
+  // list. BatchLoss(gathered, iota) is bit-equal to the in-RAM
+  // BatchLoss(dataset, batch) by the gather-invariance contract.
+  std::vector<Graph> gathered;
+  std::vector<int> iota;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::TraceScope epoch_span("train/epoch");
+    optimizer.set_lr(
+        ScheduledLr(options.schedule, options.lr, epoch, options.epochs));
+    Stopwatch watch;
+    double epoch_loss = 0.0;
+    int steps = 0;
+    // Identical Rng consumption to TrainGraphSsl: the plan is the same
+    // shuffled index stream the in-RAM loop would walk.
+    const std::vector<std::vector<int>> plan = MakeMiniBatches(
+        static_cast<int>(n), options.batch_size, rng);
+    source.BeginEpoch(plan);
+    for (size_t b = 0; b < plan.size(); ++b) {
+      obs::TraceScope step_span("train/step");
+      Stopwatch step_watch;
+      GRADGCL_CHECK_MSG(source.NextBatch(&gathered),
+                        "streaming batch source failed (corrupt shard?)");
+      iota.resize(gathered.size());
+      for (size_t k = 0; k < iota.size(); ++k) iota[k] = static_cast<int>(k);
+      monitor.BeginStep(obs::StepContext{global_step, epoch});
+      TapeScope tape;  // step-scoped pooling, as in TrainGraphSsl
+      optimizer.ZeroGrad();
+      Variable loss = model.BatchLoss(gathered, iota, rng);
+      Backward(loss);
+      const double loss_value = loss.scalar();
+      const double grad_norm =
+          monitor.enabled() ? ParameterGradNorm(model.parameters()) : 0.0;
+      optimizer.Step();
+      model.PostStep();
+      if (monitor.enabled()) {
+        monitor.EndStep(loss_value, grad_norm, step_watch.ElapsedSeconds());
+      }
+      epoch_loss += loss_value;
+      ++steps;
+      ++global_step;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = steps > 0 ? epoch_loss / steps : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
 std::vector<EpochStats> TrainNodeSsl(
     NodeSslModel& model, const NodeDataset& dataset,
     const TrainOptions& options,

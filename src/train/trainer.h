@@ -42,6 +42,13 @@ class GraphSslModel : public Module {
  public:
   // Self-supervised loss on dataset[indices]; `rng` drives the model's
   // stochastic views (augmentations / perturbations).
+  //
+  // Gather-invariance contract: implementations may only touch
+  // dataset[idx] for idx in `indices`, visiting them in `indices`
+  // order (including rng consumption). Then BatchLoss(dataset, batch)
+  // == BatchLoss(gathered, iota) bit-for-bit, which is what lets the
+  // streaming path (TrainGraphSslStreamed over a GraphBatchSource)
+  // train bit-identically to this in-RAM path.
   virtual Variable BatchLoss(const std::vector<Graph>& dataset,
                              const std::vector<int>& indices, Rng& rng) = 0;
 
@@ -70,6 +77,43 @@ class NodeSslModel : public Module {
 // `on_epoch` (optional) observes the stats of each finished epoch.
 std::vector<EpochStats> TrainGraphSsl(
     GraphSslModel& model, const std::vector<Graph>& dataset,
+    const TrainOptions& options,
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+// Source of materialised mini-batches for the streaming training path
+// — the trainer-facing face of the sharded on-disk pipeline
+// (data/prefetch_reader.h implements it by mmap-reading shards on
+// background threads). The trainer plans an epoch's batches up front
+// (same MakeMiniBatches stream as the in-RAM loop), installs the plan
+// with BeginEpoch, then consumes the batches in plan order.
+class GraphBatchSource {
+ public:
+  virtual ~GraphBatchSource() = default;
+
+  // Total graphs in the underlying dataset (batch plans index into
+  // [0, num_graphs())).
+  virtual int64_t num_graphs() const = 0;
+
+  // Installs the mini-batch plan for the next epoch. Requires the
+  // previous epoch to be fully consumed.
+  virtual void BeginEpoch(const std::vector<std::vector<int>>& batches) = 0;
+
+  // Produces the next planned batch: graphs[k] is the graph at the
+  // plan's k-th index, so a batch pairs with indices {0, 1, ...} —
+  // exactly what a gather-invariant BatchLoss expects. Returns false
+  // on unrecoverable read failure (corrupt shard).
+  virtual bool NextBatch(std::vector<Graph>* graphs) = 0;
+};
+
+// Streaming twin of TrainGraphSsl: same optimiser, same Rng stream,
+// same batch plan — only the graphs arrive through `source` instead of
+// a resident vector. With a gather-invariant model (see
+// GraphSslModel::BatchLoss) and a source that reproduces the dataset's
+// graphs bit-for-bit, the loss trajectory is bit-identical to
+// TrainGraphSsl on the same seed, regardless of the source's reader
+// thread count. Aborts on source read failure.
+std::vector<EpochStats> TrainGraphSslStreamed(
+    GraphSslModel& model, GraphBatchSource& source,
     const TrainOptions& options,
     const std::function<void(const EpochStats&)>& on_epoch = nullptr);
 

@@ -359,5 +359,104 @@ TEST(TransferTaskTest, Determinism) {
   }
 }
 
+// --- MoleculeUniverse shape/seed-stability pins --------------------------------
+
+// Literal pins on GeneratePretrainSet(·, 20, 2024): any change to the
+// universe grammar or its Rng consumption order shows up here first.
+// The streaming data pipeline (data/stream_profiles.h) relies on this
+// stream being stable — shards written by one build must read back
+// bit-identical under the next.
+TEST(MoleculeTest, ZincShapePinsAtSeed2024) {
+  const std::vector<Graph> zinc =
+      GeneratePretrainSet(PretrainKind::kZinc, 20, 2024);
+  ASSERT_EQ(zinc.size(), 20u);
+  long nodes = 0, edges = 0;
+  for (const Graph& g : zinc) {
+    nodes += g.num_nodes;
+    edges += g.num_edges();
+    EXPECT_EQ(g.feature_dim(), kNumAtomTypes);
+  }
+  EXPECT_EQ(nodes, 246);
+  EXPECT_EQ(edges, 250);
+  EXPECT_EQ(zinc[0].num_nodes, 12);
+  EXPECT_EQ(zinc[0].num_edges(), 13);
+  EXPECT_EQ(RingCount(zinc[0]), 2);
+  EXPECT_EQ(zinc[7].num_nodes, 12);
+  EXPECT_EQ(zinc[7].num_edges(), 11);
+  EXPECT_EQ(RingCount(zinc[7]), 0);
+  EXPECT_EQ(zinc[19].num_nodes, 6);
+  EXPECT_EQ(zinc[19].num_edges(), 6);
+  EXPECT_EQ(RingCount(zinc[19]), 1);
+  // First atoms and canonical edges of graph 0.
+  const int expected_types[6] = {0, 2, 3, 6, 1, 1};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(zinc[0].features(i, expected_types[i]), 1.0) << i;
+  }
+  ASSERT_GE(zinc[0].edges.size(), 4u);
+  EXPECT_EQ(zinc[0].edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(zinc[0].edges[1], std::make_pair(0, 4));
+  EXPECT_EQ(zinc[0].edges[2], std::make_pair(0, 5));
+  EXPECT_EQ(zinc[0].edges[3], std::make_pair(1, 2));
+}
+
+TEST(MoleculeTest, PpiShapePinsAtSeed2024) {
+  const std::vector<Graph> ppi =
+      GeneratePretrainSet(PretrainKind::kPpi, 20, 2024);
+  ASSERT_EQ(ppi.size(), 20u);
+  long nodes = 0, edges = 0;
+  for (const Graph& g : ppi) {
+    nodes += g.num_nodes;
+    edges += g.num_edges();
+  }
+  EXPECT_EQ(nodes, 523);
+  EXPECT_EQ(edges, 1039);
+  EXPECT_EQ(ppi[0].num_nodes, 31);
+  EXPECT_EQ(ppi[0].num_edges(), 66);
+  EXPECT_EQ(ppi[19].num_nodes, 31);
+  EXPECT_EQ(ppi[19].num_edges(), 61);
+}
+
+// --- Streaming (ForEach*) generators match the batch forms ---------------------
+
+bool SameGraphBits(const Graph& a, const Graph& b) {
+  if (a.num_nodes != b.num_nodes || a.label != b.label || a.edges != b.edges ||
+      a.features.rows() != b.features.rows() ||
+      a.features.cols() != b.features.cols()) {
+    return false;
+  }
+  for (int i = 0; i < a.features.rows(); ++i) {
+    for (int j = 0; j < a.features.cols(); ++j) {
+      if (a.features(i, j) != b.features(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(MoleculeTest, ForEachPretrainGraphMatchesGenerate) {
+  for (const PretrainKind kind : {PretrainKind::kZinc, PretrainKind::kPpi}) {
+    const std::vector<Graph> batch = GeneratePretrainSet(kind, 40, 17);
+    size_t i = 0;
+    ForEachPretrainGraph(kind, 40, 17, [&](Graph&& g) {
+      ASSERT_LT(i, batch.size());
+      EXPECT_TRUE(SameGraphBits(batch[i], g)) << i;
+      ++i;
+    });
+    EXPECT_EQ(i, batch.size());
+  }
+}
+
+TEST(TuDatasetTest, ForEachTuGraphMatchesGenerate) {
+  TuProfile profile = TuProfileByName("MUTAG");
+  profile.num_graphs = 24;
+  const std::vector<Graph> batch = GenerateTuDataset(profile, 9);
+  size_t i = 0;
+  ForEachTuGraph(profile, 9, [&](Graph&& g) {
+    ASSERT_LT(i, batch.size());
+    EXPECT_TRUE(SameGraphBits(batch[i], g)) << i;
+    ++i;
+  });
+  EXPECT_EQ(i, batch.size());
+}
+
 }  // namespace
 }  // namespace gradgcl
