@@ -21,7 +21,13 @@
 //  * a hot-swap-under-load leg: >= 100 ModelRegistry snapshot swaps
 //    while 4 clients hammer the engine — every result must be bitwise
 //    equal to the forward of the exact version it is tagged with, and
-//    nothing may be dropped. The bench exits 1 on any violation.
+//    nothing may be dropped. The bench exits 1 on any violation;
+//  * a shard-replay leg: a 512-graph corpus is written through
+//    data/ShardWriter, mmap'd back with ShardedDataset, and replayed
+//    through the serving ingress — every request decodes its graph
+//    from the mapped shard on the hot path, so the leg measures the
+//    end-to-end mmap-decode -> batch -> forward pipeline ("shard_replay"
+//    in the JSON), with the same bitwise parity requirement.
 //
 // Every request's result is checked against a precomputed reference
 // embedding (bitwise), so the bench doubles as a load-level parity
@@ -38,6 +44,8 @@
 
 #include "common/json.h"
 #include "common/stopwatch.h"
+#include "data/shard_reader.h"
+#include "data/shard_writer.h"
 #include "datasets/tu_synthetic.h"
 #include "nn/encoders.h"
 #include "obs/metrics.h"
@@ -252,6 +260,115 @@ HotSwapResult RunHotSwap(const std::vector<Graph>& graphs) {
   return result;
 }
 
+// Shard-replay leg: write `corpus` through data/ShardWriter, map it
+// back, and run the closed loop with every request's graph decoded
+// from the mmap'd shard inside the client loop — the serving path is
+// fed straight from the on-disk container, the deployment shape the
+// data pipeline PR built toward. Parity refs are forwards of the
+// DECODED graphs (the writer canonicalises edge order), so any
+// mismatch is a serving bug, not a format quirk.
+struct ShardReplayResult {
+  RunResult run;
+  int64_t corpus_graphs = 0;
+  int data_shards = 0;
+};
+
+ShardReplayResult RunShardReplay(const InferenceSession& session,
+                                 const std::vector<Graph>& corpus,
+                                 const RunConfig& config) {
+  const std::string dir = "bench_serve_replay.shards";
+  {
+    data::ShardWriterOptions wopts;
+    wopts.feature_dim = corpus.front().features.cols();
+    wopts.graphs_per_shard = 128;  // 512 graphs -> 4 shard files
+    data::ShardWriter writer(dir, wopts);
+    for (const Graph& g : corpus) writer.Add(g);
+    if (!writer.Finalize()) {
+      std::fprintf(stderr, "FAIL: cannot write replay shards to %s\n",
+                   dir.c_str());
+      std::exit(1);
+    }
+  }
+  data::ShardedDataset dataset;
+  if (!dataset.Open(dir)) {
+    std::fprintf(stderr, "FAIL: cannot map replay shards from %s\n",
+                 dir.c_str());
+    std::exit(1);
+  }
+  const std::vector<Graph> decoded = dataset.ReadAll();
+  std::vector<Matrix> refs;
+  refs.reserve(decoded.size());
+  for (const Graph& g : decoded) {
+    refs.push_back(session.EmbedGraphs(std::vector<Graph>{g}));
+  }
+
+  obs::MetricsRegistry::Instance().Reset();
+  ServeOptions opts;
+  opts.num_workers = kNumWorkers;
+  opts.num_shards = config.num_shards;
+  opts.max_batch_graphs = config.max_batch_graphs;
+  opts.max_wait_micros = config.max_wait_micros;
+  opts.max_queue_graphs = std::max(64, 8 * config.clients);
+  EmbeddingEngine engine(session, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  Stopwatch wall;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t g = (static_cast<int64_t>(c) +
+                           static_cast<int64_t>(i++) * config.clients) %
+                          dataset.num_graphs();
+        // Decode from the mapped shard on the hot path: this is the
+        // replay — page-cache reads and record validation included.
+        std::vector<Graph> request(1);
+        if (!dataset.ReadGraph(g, &request[0])) {
+          mismatched.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        EmbedResult r = engine.Embed(request);
+        if (r.status == ServeStatus::kOk) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (!BitIdentical(r.embeddings, refs[static_cast<size_t>(g)])) {
+            mismatched.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  while (wall.ElapsedSeconds() < kRunSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  engine.Shutdown();
+
+  ShardReplayResult result;
+  result.corpus_graphs = dataset.num_graphs();
+  result.data_shards = dataset.num_shards();
+  result.run.config = config;
+  result.run.completed = completed.load();
+  result.run.mismatched = mismatched.load();
+  result.run.seconds = seconds;
+  result.run.throughput_rps = static_cast<double>(completed.load()) / seconds;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+  if (const obs::HistogramData* lat = snap.histogram("serve/latency_us")) {
+    result.run.latency_us = obs::SummarizePercentiles(*lat);
+  }
+  const uint64_t batches = snap.counter("serve/batches");
+  const uint64_t batched_graphs = snap.counter("serve/graphs");
+  result.run.mean_batch_graphs =
+      batches > 0 ? static_cast<double>(batched_graphs) / batches : 0.0;
+  result.run.steals = snap.counter("serve/steals");
+  return result;
+}
+
 void PrintRow(const RunResult& r) {
   std::printf(
       "%-22s %7d %6d %9d %9.0f %10llu %10.0f %8.0f %8.0f %8.0f %7.2f %7llu\n",
@@ -295,7 +412,8 @@ void WriteJson(const char* path, const EncoderConfig& model_config,
                const InferenceSession& session,
                const std::vector<RunResult>& runs,
                const std::vector<RunResult>& slo_runs,
-               const HotSwapResult& hot_swap, double speedup_at_8) {
+               const HotSwapResult& hot_swap,
+               const ShardReplayResult& replay, double speedup_at_8) {
   std::FILE* json = std::fopen(path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -339,6 +457,20 @@ void WriteJson(const char* path, const EncoderConfig& model_config,
                static_cast<unsigned long long>(hot_swap.completed),
                static_cast<unsigned long long>(hot_swap.dropped),
                static_cast<unsigned long long>(hot_swap.mismatched));
+  std::fprintf(
+      json,
+      "  \"shard_replay\": {\"corpus_graphs\": %lld, \"data_shards\": %d, "
+      "\"clients\": %d, \"num_shards\": %d, \"completed\": %llu, "
+      "\"mismatched\": %llu, \"throughput_rps\": %.2f, "
+      "\"latency_us\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f}, "
+      "\"mean_batch_graphs\": %.4f},\n",
+      static_cast<long long>(replay.corpus_graphs), replay.data_shards,
+      replay.run.config.clients, replay.run.config.num_shards,
+      static_cast<unsigned long long>(replay.run.completed),
+      static_cast<unsigned long long>(replay.run.mismatched),
+      replay.run.throughput_rps, replay.run.latency_us.p50,
+      replay.run.latency_us.p95, replay.run.latency_us.p99,
+      replay.run.mean_batch_graphs);
   std::fprintf(json, "  \"runs\": [\n");
   WriteRunArray(json, runs);
   std::fprintf(json, "  ],\n  \"slo_sweep\": [\n");
@@ -444,6 +576,27 @@ int main() {
     PrintRow(slo_runs.back());
   }
 
+  // Shard-replay leg: a larger corpus written through the data
+  // pipeline and served straight off the mmap'd shards.
+  TuProfile replay_profile = profile;
+  replay_profile.num_graphs = 512;
+  const std::vector<Graph> replay_corpus =
+      GenerateTuDataset(replay_profile, 11);
+  const RunConfig replay_config{"shard_replay_c8", 8, 16, 0.0, 8};
+  ShardReplayResult replay;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ShardReplayResult r = RunShardReplay(*session, replay_corpus,
+                                         replay_config);
+    mismatched_total += r.run.mismatched;
+    if (rep == 0 || r.run.throughput_rps > replay.run.throughput_rps) {
+      replay = std::move(r);
+    }
+  }
+  PrintRow(replay.run);
+  std::printf("shard replay: %lld graphs over %d shard files\n",
+              static_cast<long long>(replay.corpus_graphs),
+              replay.data_shards);
+
   const HotSwapResult hot_swap = RunHotSwap(graphs);
   std::printf(
       "\nhot-swap: %llu versions published under load, %llu completed, "
@@ -485,6 +638,6 @@ int main() {
   }
 
   WriteJson("BENCH_serve.json", config, *session, runs, slo_runs, hot_swap,
-            speedup);
+            replay, speedup);
   return 0;
 }

@@ -19,7 +19,43 @@ std::vector<int> ClassSortedOrder(const std::vector<int>& labels) {
   return order;
 }
 
+// Total-order rank: higher score first, ascending index on ties.
+inline bool BetterNeighbor(const Neighbor& a, const Neighbor& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
 }  // namespace
+
+std::vector<Neighbor> TopKNeighbors(const double* scores, int64_t n, int k) {
+  GRADGCL_CHECK(n >= 0 && k >= 0);
+  if (k > n) k = static_cast<int>(n);
+  std::vector<Neighbor> heap;
+  if (k == 0) return heap;
+  heap.reserve(k);
+  // Max-heap under BetterNeighbor-as-less-than: the root is the worst
+  // kept entry, so each candidate is one comparison against the root.
+  for (int64_t i = 0; i < n; ++i) {
+    const Neighbor cand{i, scores[i]};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), BetterNeighbor);
+    } else if (BetterNeighbor(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterNeighbor);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), BetterNeighbor);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), BetterNeighbor);
+  return heap;
+}
+
+std::vector<int64_t> TopKIndices(const double* scores, int64_t n, int k) {
+  const std::vector<Neighbor> neighbors = TopKNeighbors(scores, n, k);
+  std::vector<int64_t> indices(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) indices[i] = neighbors[i].index;
+  return indices;
+}
 
 SimilarityReport AnalyzeSimilarity(const Matrix& embeddings,
                                    const std::vector<int>& labels) {

@@ -35,6 +35,24 @@ struct SimilarityReport {
 SimilarityReport AnalyzeSimilarity(const Matrix& embeddings,
                                    const std::vector<int>& labels);
 
+// One retrieved neighbor: corpus row index plus its score.
+struct Neighbor {
+  int64_t index = -1;
+  double score = 0.0;
+};
+
+// Deterministic top-k selection over a score array: returns the k
+// highest-scoring entries ordered by score descending, with ties
+// broken by ascending index. The (score, index) comparator is a total
+// order, so the selected set and its order are unique regardless of
+// scan or insertion order — bit-identical across thread counts and
+// platforms. k > n returns all n entries. O(n log k), no allocation
+// beyond the k-entry result.
+std::vector<Neighbor> TopKNeighbors(const double* scores, int64_t n, int k);
+
+// Index-only variant of TopKNeighbors (same ordering contract).
+std::vector<int64_t> TopKIndices(const double* scores, int64_t n, int k);
+
 // Coarse ASCII heatmap of the class-sorted similarity matrix, with
 // `cells` x `cells` blocks averaged and rendered as shade characters.
 // Used by the figure benches to make the block structure visible in

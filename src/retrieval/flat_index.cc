@@ -1,0 +1,95 @@
+#include "retrieval/flat_index.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
+namespace gradgcl::retrieval {
+
+FlatIndex FlatIndex::BuildExact(const Matrix& corpus) {
+  GRADGCL_CHECK(corpus.rows() >= 1 && corpus.cols() >= 1);
+  FlatIndex index;
+  index.exact_ = true;
+  index.corpus_ = RowNormalize(corpus);
+  return index;
+}
+
+FlatIndex FlatIndex::FromStore(QuantizedStore store) {
+  GRADGCL_CHECK(store.is_open());
+  FlatIndex index;
+  index.exact_ = false;
+  index.store_ = std::move(store);
+  return index;
+}
+
+int64_t FlatIndex::num_vectors() const {
+  return exact_ ? corpus_.rows() : store_.num_vectors();
+}
+
+int FlatIndex::dim() const { return exact_ ? corpus_.cols() : store_.dim(); }
+
+std::vector<Neighbor> FlatIndex::Search(const double* query, int k) const {
+  const int d = dim();
+  const int64_t n = num_vectors();
+  std::vector<double> scores(static_cast<size_t>(n));
+  if (exact_) {
+    // Exact cosine: normalize the query once, then one pinned-chain f64
+    // dot per row.
+    const simd::KernelTable& kt = simd::Active();
+    const double norm_sq = kt.dot(query, query, d);
+    const double inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    std::vector<double> q(query, query + d);
+    for (int j = 0; j < d; ++j) q[j] *= inv_norm;
+    for (int64_t i = 0; i < n; ++i) {
+      scores[i] = kt.dot(q.data(), corpus_.data() + i * d, d);
+    }
+  } else if (store_.tier() == Tier::kInt8) {
+    // Asymmetric scoring against the unit query (normalized up front,
+    // exactly like the IVF cell scans, so nprobe == nlist reproduces
+    // this path bitwise).
+    const simd::KernelTable& kt = simd::Active();
+    const double norm_sq = kt.dot(query, query, d);
+    const double inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    std::vector<double> q(query, query + d);
+    for (int j = 0; j < d; ++j) q[j] *= inv_norm;
+    std::vector<int8_t> codes(static_cast<size_t>(d));
+    double query_scale = 0.0;
+    double query_bias = 0.0;
+    store_.EncodeQuery(q.data(), codes.data(), &query_scale, &query_bias);
+    store_.ScoreRowsInt8(codes.data(), query_scale, query_bias, 0, n,
+                         scores.data());
+  } else {
+    // bf16: scan widens row codes on the fly against the unit query.
+    const simd::KernelTable& kt = simd::Active();
+    const double norm_sq = kt.dot(query, query, d);
+    const double inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    std::vector<double> q(query, query + d);
+    for (int j = 0; j < d; ++j) q[j] *= inv_norm;
+    store_.ScoreRowsBf16(q.data(), 0, n, scores.data());
+  }
+  return TopKNeighbors(scores.data(), n, k);
+}
+
+std::vector<std::vector<Neighbor>> FlatIndex::SearchBatch(const Matrix& queries,
+                                                          int k) const {
+  GRADGCL_CHECK(queries.cols() == dim());
+  const int nq = queries.rows();
+  std::vector<std::vector<Neighbor>> results(nq);
+  // Parallel over whole queries only: each result depends on exactly
+  // one query's serial scan, so the batch is bit-identical at every
+  // thread count.
+  ParallelFor(0, nq, /*grain=*/1,
+              /*cost_per_iter=*/num_vectors() * dim(),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t qi = begin; qi < end; ++qi) {
+                  results[qi] = Search(queries.data() + qi * queries.cols(), k);
+                }
+              });
+  return results;
+}
+
+}  // namespace gradgcl::retrieval

@@ -1,0 +1,65 @@
+// FlatIndex: exhaustive-scan retrieval baseline.
+//
+// Two modes behind one Search interface:
+//  * exact f64 — the corpus is row-normalized and kept as f64; scores
+//    are exact cosine similarities. This is the ground-truth ranking
+//    the bench measures quantized recall against.
+//  * quantized — scans a QuantizedStore (int8 through the SIMD kernel
+//    table, bf16 by widening); same scan the IVF lists use, just over
+//    the whole corpus.
+//
+// Both modes produce deterministic top-k via eval/similarity's
+// TopKNeighbors (score descending, ascending-index ties). SearchBatch
+// parallelizes over queries only — never inside one query's scan — so
+// results are bit-identical at every GRADGCL_NUM_THREADS, and for the
+// int8 tier across ISAs too (integer dots are exact everywhere).
+
+#ifndef GRADGCL_RETRIEVAL_FLAT_INDEX_H_
+#define GRADGCL_RETRIEVAL_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/similarity.h"
+#include "retrieval/store.h"
+#include "tensor/matrix.h"
+
+namespace gradgcl::retrieval {
+
+using gradgcl::Neighbor;
+
+class FlatIndex {
+ public:
+  // Exact f64 baseline: copies and row-normalizes `corpus`.
+  static FlatIndex BuildExact(const Matrix& corpus);
+
+  // Quantized scan over `store` (built by the caller, typically from a
+  // row-normalized corpus so the affine params cover the query range).
+  static FlatIndex FromStore(QuantizedStore store);
+
+  int64_t num_vectors() const;
+  int dim() const;
+  bool exact() const { return exact_; }
+  Tier tier() const { return store_.tier(); }
+  const QuantizedStore& store() const { return store_; }
+
+  // Top-k nearest rows of one query (dim() values, any norm — the
+  // query is normalized internally). Deterministic ordering contract
+  // per TopKNeighbors.
+  std::vector<Neighbor> Search(const double* query, int k) const;
+
+  // One Search per row of `queries`, parallelized over queries.
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 int k) const;
+
+ private:
+  FlatIndex() = default;
+
+  bool exact_ = false;
+  Matrix corpus_;         // normalized rows (exact mode only)
+  QuantizedStore store_;  // quantized mode only
+};
+
+}  // namespace gradgcl::retrieval
+
+#endif  // GRADGCL_RETRIEVAL_FLAT_INDEX_H_

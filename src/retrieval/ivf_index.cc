@@ -1,0 +1,233 @@
+#include "retrieval/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
+namespace gradgcl::retrieval {
+
+namespace {
+
+// Same total order as eval/similarity's TopKNeighbors: score
+// descending, ascending index on ties.
+inline bool Better(const Neighbor& a, const Neighbor& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+// Bounded top-k accumulator over candidates pushed in any order; the
+// total order makes the kept set (and its sorted output) unique
+// regardless of push order.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) { heap_.reserve(k); }
+
+  void Push(const Neighbor& cand) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    } else if (Better(cand, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Better);
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    }
+  }
+
+  std::vector<Neighbor> Sorted() && {
+    std::sort_heap(heap_.begin(), heap_.end(), Better);
+    return std::move(heap_);
+  }
+
+ private:
+  int k_;
+  std::vector<Neighbor> heap_;
+};
+
+// Nearest centroid of one unit row: max dot, ascending-index ties
+// (strict > keeps the earliest argmax).
+int NearestCentroid(const Matrix& centroids, const double* row) {
+  const simd::KernelTable& kt = simd::Active();
+  const int d = centroids.cols();
+  int best = 0;
+  double best_dot = kt.dot(centroids.data(), row, d);
+  for (int c = 1; c < centroids.rows(); ++c) {
+    const double dot = kt.dot(centroids.data() + static_cast<int64_t>(c) * d,
+                              row, d);
+    if (dot > best_dot) {
+      best_dot = dot;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IvfIndex IvfIndex::Build(const Matrix& corpus, const IvfConfig& config) {
+  const int n = corpus.rows();
+  const int d = corpus.cols();
+  GRADGCL_CHECK(n >= 1 && d >= 1);
+  GRADGCL_CHECK(config.nlist >= 1 && config.kmeans_iters >= 0);
+  const int nlist = std::min(config.nlist, n);
+
+  const Matrix normalized = RowNormalize(corpus);
+
+  // Seeded init: nlist distinct corpus rows from a fixed Rng stream.
+  Rng rng(config.seed);
+  const std::vector<int> init = rng.SampleWithoutReplacement(n, nlist);
+  Matrix centroids(nlist, d);
+  for (int c = 0; c < nlist; ++c) {
+    const double* src = normalized.data() + static_cast<int64_t>(init[c]) * d;
+    std::copy(src, src + d, centroids.data() + static_cast<int64_t>(c) * d);
+  }
+
+  // Lloyd iterations, spherical. The assignment step is parallel but
+  // per-point independent; accumulation is serial in ascending row
+  // order — one fixed f64 chain per centroid, so the result is
+  // bit-identical at every thread count.
+  std::vector<int> assign(n, 0);
+  auto AssignAll = [&] {
+    ParallelFor(0, n, /*grain=*/16,
+                /*cost_per_iter=*/static_cast<int64_t>(nlist) * d,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    assign[i] = NearestCentroid(
+                        centroids, normalized.data() + i * d);
+                  }
+                });
+  };
+  for (int iter = 0; iter < config.kmeans_iters; ++iter) {
+    AssignAll();
+    Matrix sums = Matrix::Zeros(nlist, d);
+    std::vector<int64_t> counts(nlist, 0);
+    for (int i = 0; i < n; ++i) {
+      const double* row = normalized.data() + static_cast<int64_t>(i) * d;
+      double* sum = sums.data() + static_cast<int64_t>(assign[i]) * d;
+      for (int j = 0; j < d; ++j) sum[j] += row[j];
+      ++counts[assign[i]];
+    }
+    for (int c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // empty cell keeps its centroid
+      const double* sum = sums.data() + static_cast<int64_t>(c) * d;
+      double norm_sq = 0.0;
+      for (int j = 0; j < d; ++j) norm_sq += sum[j] * sum[j];
+      if (norm_sq <= 0.0) continue;
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      double* dst = centroids.data() + static_cast<int64_t>(c) * d;
+      for (int j = 0; j < d; ++j) dst[j] = sum[j] * inv;
+    }
+  }
+  AssignAll();  // final assignment against the converged centroids
+
+  // Group rows by cell, stable in ascending corpus order.
+  IvfIndex index;
+  index.centroids_ = std::move(centroids);
+  index.list_offsets_.assign(nlist + 1, 0);
+  for (int i = 0; i < n; ++i) ++index.list_offsets_[assign[i] + 1];
+  for (int c = 0; c < nlist; ++c) {
+    index.list_offsets_[c + 1] += index.list_offsets_[c];
+  }
+  index.ids_.resize(n);
+  std::vector<int64_t> cursor(index.list_offsets_.begin(),
+                              index.list_offsets_.end() - 1);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    const int64_t pos = cursor[assign[i]]++;
+    index.ids_[pos] = i;
+    order[pos] = i;
+  }
+  const Matrix grouped = normalized.Gather(order);
+  // Corpus-wide params (min/max commute, so grouping doesn't change
+  // them) keep every cell in one code space — a query is encoded once.
+  index.store_ = QuantizedStore::BuildWithParams(
+      grouped, ComputeParams(normalized), config.tier);
+  index.set_nprobe(config.nprobe);
+  return index;
+}
+
+void IvfIndex::set_nprobe(int nprobe) {
+  nprobe_ = std::clamp(nprobe, 1, nlist());
+}
+
+std::vector<Neighbor> IvfIndex::Search(const double* query, int k,
+                                       int nprobe_override) const {
+  const int d = dim();
+  const int cells = nlist();
+  const int probe =
+      std::clamp(nprobe_override > 0 ? nprobe_override : nprobe_, 1, cells);
+
+  // Normalize the query once; both the centroid scan and the cell
+  // scans use the unit query.
+  const simd::KernelTable& kt = simd::Active();
+  const double norm_sq = kt.dot(query, query, d);
+  const double inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  std::vector<double> q(query, query + d);
+  for (int j = 0; j < d; ++j) q[j] *= inv_norm;
+
+  std::vector<double> centroid_scores(cells);
+  for (int c = 0; c < cells; ++c) {
+    centroid_scores[c] =
+        kt.dot(q.data(), centroids_.data() + static_cast<int64_t>(c) * d, d);
+  }
+  const std::vector<Neighbor> probed =
+      TopKNeighbors(centroid_scores.data(), cells, probe);
+
+  std::vector<int8_t> codes;
+  double query_scale = 0.0;
+  double query_bias = 0.0;
+  if (tier() == Tier::kInt8) {
+    codes.resize(static_cast<size_t>(d));
+    store_.EncodeQuery(q.data(), codes.data(), &query_scale, &query_bias);
+  }
+
+  int64_t max_cell = 0;
+  for (const Neighbor& cell : probed) {
+    max_cell = std::max(max_cell, list_offsets_[cell.index + 1] -
+                                      list_offsets_[cell.index]);
+  }
+  std::vector<double> scores(static_cast<size_t>(max_cell));
+  TopKHeap heap(std::min<int64_t>(k, num_vectors()));
+  for (const Neighbor& cell : probed) {
+    const int64_t begin = list_offsets_[cell.index];
+    const int64_t end = list_offsets_[cell.index + 1];
+    if (begin == end) continue;
+    if (tier() == Tier::kInt8) {
+      store_.ScoreRowsInt8(codes.data(), query_scale, query_bias, begin, end,
+                           scores.data());
+    } else {
+      store_.ScoreRowsBf16(q.data(), begin, end, scores.data());
+    }
+    for (int64_t r = begin; r < end; ++r) {
+      heap.Push(Neighbor{ids_[r], scores[r - begin]});
+    }
+  }
+  return std::move(heap).Sorted();
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::SearchBatch(
+    const Matrix& queries, int k, int nprobe_override) const {
+  GRADGCL_CHECK(queries.cols() == dim());
+  const int nq = queries.rows();
+  const int probe =
+      std::clamp(nprobe_override > 0 ? nprobe_override : nprobe_, 1, nlist());
+  std::vector<std::vector<Neighbor>> results(nq);
+  const int64_t cost =
+      (static_cast<int64_t>(nlist()) +
+       num_vectors() * probe / std::max(1, nlist())) *
+      dim();
+  ParallelFor(0, nq, /*grain=*/1, cost, [&](int64_t begin, int64_t end) {
+    for (int64_t qi = begin; qi < end; ++qi) {
+      results[qi] = Search(queries.data() + qi * queries.cols(), k,
+                           nprobe_override);
+    }
+  });
+  return results;
+}
+
+}  // namespace gradgcl::retrieval

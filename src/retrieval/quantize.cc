@@ -1,0 +1,91 @@
+#include "retrieval/quantize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gradgcl::retrieval {
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kInt8:
+      return "int8";
+    case Tier::kBf16:
+      return "bf16";
+  }
+  return "?";
+}
+
+QuantizationParams ComputeParams(const Matrix& corpus) {
+  const int n = corpus.rows();
+  const int d = corpus.cols();
+  GRADGCL_CHECK(n >= 1 && d >= 1);
+  std::vector<double> lo(d, corpus(0, 0));
+  std::vector<double> hi(d, corpus(0, 0));
+  for (int j = 0; j < d; ++j) {
+    lo[j] = hi[j] = corpus(0, j);
+  }
+  for (int i = 1; i < n; ++i) {
+    const double* row = corpus.data() + static_cast<int64_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  QuantizationParams params;
+  params.scale.resize(d);
+  params.offset.resize(d);
+  // A degenerate (constant) dimension still gets a positive scale so
+  // encode/decode stay well-defined; every code in it is 0.
+  constexpr double kMinRange = 1e-30;
+  for (int j = 0; j < d; ++j) {
+    GRADGCL_CHECK(std::isfinite(lo[j]) && std::isfinite(hi[j]));
+    params.offset[j] = 0.5 * (lo[j] + hi[j]);
+    params.scale[j] = std::max(hi[j] - lo[j], kMinRange) / 254.0;
+  }
+  return params;
+}
+
+void QuantizeRowInt8(const QuantizationParams& params, const double* x,
+                     int8_t* out) {
+  const int d = params.dim();
+  for (int j = 0; j < d; ++j) {
+    const double u = (x[j] - params.offset[j]) / params.scale[j];
+    const double r = std::nearbyint(std::clamp(u, -127.0, 127.0));
+    out[j] = static_cast<int8_t>(r);
+  }
+}
+
+void DequantizeRowInt8(const QuantizationParams& params, const int8_t* q,
+                       double* out) {
+  const int d = params.dim();
+  for (int j = 0; j < d; ++j) {
+    out[j] = params.offset[j] + params.scale[j] * static_cast<double>(q[j]);
+  }
+}
+
+uint16_t EncodeBf16(double x) {
+  const uint32_t bits = std::bit_cast<uint32_t>(static_cast<float>(x));
+  // inf/NaN truncate directly — the rounding add below could carry a
+  // NaN's mantissa into the exponent.
+  if ((bits & 0x7F800000u) == 0x7F800000u) {
+    return static_cast<uint16_t>(bits >> 16);
+  }
+  // Round to nearest even on the truncated half: add 0x7FFF plus the
+  // low bit of the kept half.
+  const uint32_t rounded = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+double DecodeBf16(uint16_t b) {
+  return static_cast<double>(
+      std::bit_cast<float>(static_cast<uint32_t>(b) << 16));
+}
+
+void QuantizeRowBf16(const double* x, int64_t n, uint16_t* out) {
+  for (int64_t j = 0; j < n; ++j) out[j] = EncodeBf16(x[j]);
+}
+
+}  // namespace gradgcl::retrieval

@@ -1,0 +1,85 @@
+// Scalar quantization for the embedding retrieval store
+// (src/retrieval/): f64 -> int8 with per-dimension affine parameters,
+// plus an optional bf16 tier that keeps 8 bits of mantissa.
+//
+// int8 tier (the headline):
+//  * Parameters are computed deterministically from the corpus: for
+//    each dimension d, offset[d] is the midpoint of the corpus range
+//    [min_d, max_d] and scale[d] = max(max_d - min_d, eps) / 254, so
+//    every corpus value lands in code points [-127, 127] (code -128 is
+//    never produced — symmetric range, so L2 in code space never
+//    overflows the documented i32 bounds). min/max are commutative
+//    reductions, so the parameters are independent of scan order and
+//    thread count.
+//  * Encode: q = clamp(round((x - offset) / scale), -127, 127).
+//    Decode: x_hat = offset + scale * q.
+//  * Reconstruction error bound (pinned by tests/retrieval_test.cc):
+//    |x - x_hat| <= scale[d] / 2 * (1 + 4 * DBL_EPSILON) for corpus
+//    values inside [min_d, max_d]; out-of-range values (novel queries)
+//    clamp and the bound becomes the distance to the range edge plus
+//    scale[d] / 2.
+//  * Scoring is ASYMMETRIC (ADC): corpus rows stay affine int8 codes;
+//    the query folds the per-dimension scales into its own encoding —
+//    w[d] = x[d] * scale[d], quantized with one query-wide scale
+//    s_q = max_d |w[d]| / 127. Then for a row with codes r,
+//      x . x_hat_row = sum_d x[d] * offset[d]          (query bias C)
+//                    + s_q * dot_i8(q, r)              (+ query rounding)
+//    i.e. one exact int8 dot per row reproduces the f64 dot against
+//    the RECONSTRUCTED row up to 7-bit query rounding — the ranking
+//    error is query-side only, not corpus-size dependent. The dot runs
+//    through the int8 kernel-table entries (tensor/simd.h, dot_i8 /
+//    l2_i8): exact integer arithmetic, bit-identical across ISAs and
+//    thread counts; the (C + s_q * dot) * inv_norm postprocess is a
+//    fixed f64 chain. The bench records the resulting recall against
+//    the exact f64 ranking.
+//
+// bf16 tier: round-to-nearest-even truncation of float(x) to its top
+// 16 bits. Relative error <= 2^-8 per element; 2 bytes/dim instead of
+// 1, scanned by on-the-fly widening (no integer kernel). The accuracy
+// rung between int8 and f64 on the recall/QPS curve.
+
+#ifndef GRADGCL_RETRIEVAL_QUANTIZE_H_
+#define GRADGCL_RETRIEVAL_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gradgcl::retrieval {
+
+// Storage tier of a quantized vector block.
+enum class Tier : int32_t { kInt8 = 0, kBf16 = 1 };
+
+// "int8" | "bf16" (stable strings for bench JSON / logs).
+const char* TierName(Tier tier);
+
+// Per-dimension affine quantization parameters (int8 tier; the bf16
+// tier ignores them but stores them for a uniform file layout).
+struct QuantizationParams {
+  std::vector<double> scale;   // > 0, one per dimension
+  std::vector<double> offset;  // one per dimension
+
+  int dim() const { return static_cast<int>(scale.size()); }
+};
+
+// Computes per-dimension parameters from the corpus (rows = vectors).
+// Deterministic for every thread count: min/max reductions commute.
+QuantizationParams ComputeParams(const Matrix& corpus);
+
+// Encodes one row: out[d] = clamp(round((x[d] - offset[d]) / scale[d])).
+void QuantizeRowInt8(const QuantizationParams& params, const double* x,
+                     int8_t* out);
+
+// Decodes one row: out[d] = offset[d] + scale[d] * q[d].
+void DequantizeRowInt8(const QuantizationParams& params, const int8_t* q,
+                       double* out);
+
+// bf16 encode/decode (round-to-nearest-even on the f32 halfway bits).
+uint16_t EncodeBf16(double x);
+double DecodeBf16(uint16_t b);
+void QuantizeRowBf16(const double* x, int64_t n, uint16_t* out);
+
+}  // namespace gradgcl::retrieval
+
+#endif  // GRADGCL_RETRIEVAL_QUANTIZE_H_

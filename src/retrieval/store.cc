@@ -1,0 +1,428 @@
+#include "retrieval/store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "tensor/simd.h"
+
+namespace gradgcl::retrieval {
+
+namespace {
+
+inline int64_t AlignUp64(int64_t n) { return (n + 63) & ~int64_t{63}; }
+
+inline int64_t BytesPerCode(Tier tier) {
+  return tier == Tier::kInt8 ? 1 : 2;
+}
+
+// Expected layout offsets for a given (dim, tier); every reader and
+// writer derives them from these two fields alone, so a header whose
+// stored offsets disagree is structurally corrupt.
+struct Layout {
+  int64_t row_stride;
+  int64_t vectors_offset;
+};
+
+Layout LayoutFor(int dim, Tier tier) {
+  Layout l;
+  l.row_stride = AlignUp64(static_cast<int64_t>(dim) * BytesPerCode(tier));
+  l.vectors_offset =
+      AlignUp64(static_cast<int64_t>(sizeof(StoreHeader)) + 16 * dim);
+  return l;
+}
+
+// 1 / ||decode(row)|| with a fixed ascending accumulation chain — the
+// ONE definition both the bulk builder and the streaming writer use,
+// so their outputs are byte-identical.
+double DecodedInvNorm(const QuantizationParams& params, Tier tier,
+                      const unsigned char* row, int d) {
+  double norm_sq = 0.0;
+  if (tier == Tier::kInt8) {
+    const int8_t* q = reinterpret_cast<const int8_t*>(row);
+    for (int j = 0; j < d; ++j) {
+      const double v =
+          params.offset[j] + params.scale[j] * static_cast<double>(q[j]);
+      norm_sq += v * v;
+    }
+  } else {
+    const uint16_t* q = reinterpret_cast<const uint16_t*>(row);
+    for (int j = 0; j < d; ++j) {
+      const double v = DecodeBf16(q[j]);
+      norm_sq += v * v;
+    }
+  }
+  return norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+}
+
+}  // namespace
+
+QuantizedStore::~QuantizedStore() { CloseMapping(); }
+
+QuantizedStore::QuantizedStore(QuantizedStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+QuantizedStore& QuantizedStore::operator=(QuantizedStore&& other) noexcept {
+  if (this == &other) return *this;
+  CloseMapping();
+  tier_ = other.tier_;
+  dim_ = other.dim_;
+  num_vectors_ = other.num_vectors_;
+  row_stride_ = other.row_stride_;
+  params_ = std::move(other.params_);
+  owned_data_ = std::move(other.owned_data_);
+  owned_inv_norms_ = std::move(other.owned_inv_norms_);
+  mapped_base_ = other.mapped_base_;
+  mapped_size_ = other.mapped_size_;
+  mapped_fd_ = other.mapped_fd_;
+  data_ = other.data_;
+  inv_norms_ = other.inv_norms_;
+  other.mapped_base_ = nullptr;
+  other.mapped_size_ = 0;
+  other.mapped_fd_ = -1;
+  other.data_ = nullptr;
+  other.inv_norms_ = nullptr;
+  other.num_vectors_ = -1;
+  other.dim_ = 0;
+  return *this;
+}
+
+void QuantizedStore::CloseMapping() {
+  if (mapped_base_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(mapped_base_),
+             static_cast<size_t>(mapped_size_));
+    mapped_base_ = nullptr;
+    mapped_size_ = 0;
+  }
+  if (mapped_fd_ >= 0) {
+    ::close(mapped_fd_);
+    mapped_fd_ = -1;
+  }
+}
+
+void QuantizedStore::InitLayout(int dim, Tier tier) {
+  const Layout l = LayoutFor(dim, tier);
+  dim_ = dim;
+  tier_ = tier;
+  row_stride_ = l.row_stride;
+}
+
+QuantizedStore QuantizedStore::Build(const Matrix& corpus, Tier tier) {
+  return BuildWithParams(corpus, ComputeParams(corpus), tier);
+}
+
+QuantizedStore QuantizedStore::BuildWithParams(const Matrix& corpus,
+                                               const QuantizationParams& params,
+                                               Tier tier) {
+  const int n = corpus.rows();
+  const int d = corpus.cols();
+  GRADGCL_CHECK(d >= 1 && d <= kMaxStoreDim);
+  GRADGCL_CHECK(params.dim() == d);
+  QuantizedStore store;
+  store.InitLayout(d, tier);
+  store.params_ = params;
+  store.num_vectors_ = n;
+  store.owned_data_.assign(static_cast<size_t>(n) * store.row_stride_, 0);
+  store.owned_inv_norms_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double* row = corpus.data() + static_cast<int64_t>(i) * d;
+    unsigned char* out = store.owned_data_.data() +
+                         static_cast<int64_t>(i) * store.row_stride_;
+    if (tier == Tier::kInt8) {
+      QuantizeRowInt8(params, row, reinterpret_cast<int8_t*>(out));
+    } else {
+      QuantizeRowBf16(row, d, reinterpret_cast<uint16_t*>(out));
+    }
+    store.owned_inv_norms_[i] = DecodedInvNorm(params, tier, out, d);
+  }
+  store.data_ = store.owned_data_.data();
+  store.inv_norms_ = store.owned_inv_norms_.data();
+  return store;
+}
+
+bool QuantizedStore::ValidateAndAdopt(const unsigned char* base, int64_t size) {
+  // Every field is checked in int64 arithmetic against the real file
+  // extent before any allocation or out-of-header dereference.
+  if (size < static_cast<int64_t>(sizeof(StoreHeader))) return false;
+  StoreHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kStoreMagic, 4) != 0) return false;
+  if (header.version != kStoreFormatVersion) return false;
+  if (header.tier != static_cast<int32_t>(Tier::kInt8) &&
+      header.tier != static_cast<int32_t>(Tier::kBf16)) {
+    return false;
+  }
+  const Tier tier = static_cast<Tier>(header.tier);
+  if (header.dim < 1 || header.dim > kMaxStoreDim) return false;
+  if (header.num_vectors < 0 || header.num_vectors > kMaxStoreVectors) {
+    return false;
+  }
+  const Layout layout = LayoutFor(header.dim, tier);
+  if (header.row_stride != layout.row_stride) return false;
+  if (header.vectors_offset != static_cast<uint64_t>(layout.vectors_offset)) {
+    return false;
+  }
+  // vectors_offset <= 64 + 16 * 32767 + 63 and row_stride <= 65600, so
+  // num_vectors * row_stride is the only product that can overflow.
+  if (header.num_vectors != 0 &&
+      header.row_stride >
+          (INT64_MAX - layout.vectors_offset) / header.num_vectors) {
+    return false;
+  }
+  const int64_t norms_offset =
+      layout.vectors_offset + header.num_vectors * header.row_stride;
+  if (header.norms_offset != static_cast<uint64_t>(norms_offset)) return false;
+  if (header.num_vectors > (INT64_MAX - norms_offset) / 8) return false;
+  const int64_t total = norms_offset + 8 * header.num_vectors;
+  if (size != total) return false;
+
+  InitLayout(header.dim, tier);
+  num_vectors_ = header.num_vectors;
+  params_.scale.assign(
+      reinterpret_cast<const double*>(base + sizeof(StoreHeader)),
+      reinterpret_cast<const double*>(base + sizeof(StoreHeader)) + dim_);
+  params_.offset.assign(
+      reinterpret_cast<const double*>(base + sizeof(StoreHeader)) + dim_,
+      reinterpret_cast<const double*>(base + sizeof(StoreHeader)) + 2 * dim_);
+  for (double s : params_.scale) {
+    if (!(s > 0.0) || !std::isfinite(s)) return false;
+  }
+  for (double o : params_.offset) {
+    if (!std::isfinite(o)) return false;
+  }
+  data_ = base + layout.vectors_offset;
+  inv_norms_ = reinterpret_cast<const double*>(base + norms_offset);
+  return true;
+}
+
+bool QuantizedStore::Map(const std::string& path) {
+  CloseMapping();
+  num_vectors_ = -1;
+  dim_ = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  void* base =
+      ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+             fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    return false;
+  }
+  mapped_base_ = static_cast<const unsigned char*>(base);
+  mapped_size_ = st.st_size;
+  mapped_fd_ = fd;
+  if (!ValidateAndAdopt(mapped_base_, mapped_size_)) {
+    CloseMapping();
+    num_vectors_ = -1;
+    dim_ = 0;
+    return false;
+  }
+  return true;
+}
+
+bool QuantizedStore::Load(const std::string& path) {
+  if (!Map(path)) return false;
+  // Copy the validated blocks into owned memory and drop the mapping.
+  owned_data_.assign(data_, data_ + num_vectors_ * row_stride_);
+  owned_inv_norms_.assign(inv_norms_, inv_norms_ + num_vectors_);
+  CloseMapping();
+  data_ = owned_data_.data();
+  inv_norms_ = owned_inv_norms_.data();
+  return true;
+}
+
+bool QuantizedStore::Save(const std::string& path) const {
+  GRADGCL_CHECK(is_open());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const Layout layout = LayoutFor(dim_, tier_);
+  StoreHeader header{};
+  std::memcpy(header.magic, kStoreMagic, 4);
+  header.version = kStoreFormatVersion;
+  header.tier = static_cast<int32_t>(tier_);
+  header.dim = dim_;
+  header.num_vectors = num_vectors_;
+  header.row_stride = layout.row_stride;
+  header.vectors_offset = static_cast<uint64_t>(layout.vectors_offset);
+  header.norms_offset = static_cast<uint64_t>(layout.vectors_offset +
+                                              num_vectors_ * row_stride_);
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = ok && std::fwrite(params_.scale.data(), sizeof(double), dim_, f) ==
+                 static_cast<size_t>(dim_);
+  ok = ok && std::fwrite(params_.offset.data(), sizeof(double), dim_, f) ==
+                 static_cast<size_t>(dim_);
+  const int64_t pad = layout.vectors_offset -
+                      (static_cast<int64_t>(sizeof(StoreHeader)) + 16 * dim_);
+  const unsigned char zeros[64] = {};
+  if (pad > 0) {
+    ok = ok && std::fwrite(zeros, 1, static_cast<size_t>(pad), f) ==
+                   static_cast<size_t>(pad);
+  }
+  if (num_vectors_ > 0) {
+    ok = ok && std::fwrite(data_, 1,
+                           static_cast<size_t>(num_vectors_ * row_stride_),
+                           f) == static_cast<size_t>(num_vectors_ * row_stride_);
+    ok = ok &&
+         std::fwrite(inv_norms_, sizeof(double), num_vectors_, f) ==
+             static_cast<size_t>(num_vectors_);
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void QuantizedStore::EncodeQuery(const double* query, int8_t* out,
+                                 double* query_scale,
+                                 double* query_bias) const {
+  GRADGCL_CHECK(tier_ == Tier::kInt8);
+  // Asymmetric (ADC) encode: fold the per-dimension scales into the
+  // query, w[d] = query[d] * scale[d], then quantize w with ONE
+  // query-wide scale s_q = max|w| / 127. The query-constant bias
+  // sum_d query[d] * offset[d] accounts for the affine offsets, so
+  //   query . decode(row) = bias + s_q * dot_i8(out, row_codes)
+  // up to 7-bit query rounding only. All chains are serial ascending-d
+  // f64, so the encoding is bit-identical at every thread count.
+  double bias = 0.0;
+  double max_abs = 0.0;
+  for (int j = 0; j < dim_; ++j) {
+    bias += query[j] * params_.offset[j];
+    const double w = std::fabs(query[j] * params_.scale[j]);
+    if (w > max_abs) max_abs = w;
+  }
+  const double s_q = max_abs > 0.0 ? max_abs / 127.0 : 0.0;
+  const double inv_s_q = s_q > 0.0 ? 1.0 / s_q : 0.0;
+  for (int j = 0; j < dim_; ++j) {
+    const double u = query[j] * params_.scale[j] * inv_s_q;
+    out[j] = static_cast<int8_t>(
+        std::nearbyint(std::clamp(u, -127.0, 127.0)));
+  }
+  *query_scale = s_q;
+  *query_bias = bias;
+}
+
+void QuantizedStore::ScoreRowsInt8(const int8_t* query, double query_scale,
+                                   double query_bias, int64_t begin,
+                                   int64_t end, double* scores) const {
+  GRADGCL_DCHECK(tier_ == Tier::kInt8 && begin >= 0 && end <= num_vectors_);
+  // One table reference per scan; the postprocess (bias + s_q * dot)
+  // * inv_norm is a fixed three-rounding chain, so scores are
+  // bit-identical at every thread count and across every table
+  // (integer dots are exact everywhere).
+  const simd::KernelTable& kt = simd::Active();
+  for (int64_t i = begin; i < end; ++i) {
+    const double dot = static_cast<double>(kt.dot_i8(RowInt8(i), query, dim_));
+    scores[i - begin] = (query_bias + query_scale * dot) * inv_norms_[i];
+  }
+}
+
+void QuantizedStore::ScoreRowsBf16(const double* query, int64_t begin,
+                                   int64_t end, double* scores) const {
+  GRADGCL_DCHECK(tier_ == Tier::kBf16 && begin >= 0 && end <= num_vectors_);
+  for (int64_t i = begin; i < end; ++i) {
+    const uint16_t* row = RowBf16(i);
+    double dot = 0.0;
+    for (int j = 0; j < dim_; ++j) dot += DecodeBf16(row[j]) * query[j];
+    scores[i - begin] = dot * inv_norms_[i];
+  }
+}
+
+void QuantizedStore::DecodeRow(int64_t i, double* out) const {
+  GRADGCL_CHECK(i >= 0 && i < num_vectors_);
+  if (tier_ == Tier::kInt8) {
+    DequantizeRowInt8(params_, RowInt8(i), out);
+  } else {
+    const uint16_t* row = RowBf16(i);
+    for (int j = 0; j < dim_; ++j) out[j] = DecodeBf16(row[j]);
+  }
+}
+
+StoreWriter::StoreWriter(std::string path, QuantizationParams params,
+                         Tier tier)
+    : path_(std::move(path)), params_(std::move(params)), tier_(tier) {
+  GRADGCL_CHECK(params_.dim() >= 1 && params_.dim() <= kMaxStoreDim);
+  const Layout layout = LayoutFor(params_.dim(), tier_);
+  row_stride_ = layout.row_stride;
+  row_buf_.assign(static_cast<size_t>(row_stride_), 0);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    ok_ = false;
+    return;
+  }
+  // Placeholder header (patched by Finalize), params, pad to the
+  // vector block.
+  const StoreHeader zero_header{};
+  ok_ = std::fwrite(&zero_header, sizeof(zero_header), 1, file_) == 1;
+  const int d = params_.dim();
+  ok_ = ok_ && std::fwrite(params_.scale.data(), sizeof(double), d, file_) ==
+                   static_cast<size_t>(d);
+  ok_ = ok_ && std::fwrite(params_.offset.data(), sizeof(double), d, file_) ==
+                   static_cast<size_t>(d);
+  const int64_t pad = layout.vectors_offset -
+                      (static_cast<int64_t>(sizeof(StoreHeader)) + 16 * d);
+  const unsigned char zeros[64] = {};
+  if (pad > 0) {
+    ok_ = ok_ && std::fwrite(zeros, 1, static_cast<size_t>(pad), file_) ==
+                     static_cast<size_t>(pad);
+  }
+}
+
+StoreWriter::~StoreWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool StoreWriter::Append(const double* row) {
+  GRADGCL_CHECK(!finalized_);
+  if (!ok_) return false;
+  const int d = params_.dim();
+  std::memset(row_buf_.data(), 0, row_buf_.size());
+  if (tier_ == Tier::kInt8) {
+    QuantizeRowInt8(params_, row, reinterpret_cast<int8_t*>(row_buf_.data()));
+  } else {
+    QuantizeRowBf16(row, d, reinterpret_cast<uint16_t*>(row_buf_.data()));
+  }
+  inv_norms_.push_back(DecodedInvNorm(params_, tier_, row_buf_.data(), d));
+  ok_ = std::fwrite(row_buf_.data(), 1, row_buf_.size(), file_) ==
+        row_buf_.size();
+  if (ok_) ++rows_;
+  return ok_;
+}
+
+bool StoreWriter::Finalize() {
+  GRADGCL_CHECK(!finalized_);
+  finalized_ = true;
+  if (!ok_ || file_ == nullptr) return false;
+  if (!inv_norms_.empty()) {
+    ok_ = std::fwrite(inv_norms_.data(), sizeof(double), inv_norms_.size(),
+                      file_) == inv_norms_.size();
+  }
+  const Layout layout = LayoutFor(params_.dim(), tier_);
+  StoreHeader header{};
+  std::memcpy(header.magic, kStoreMagic, 4);
+  header.version = kStoreFormatVersion;
+  header.tier = static_cast<int32_t>(tier_);
+  header.dim = params_.dim();
+  header.num_vectors = rows_;
+  header.row_stride = row_stride_;
+  header.vectors_offset = static_cast<uint64_t>(layout.vectors_offset);
+  header.norms_offset =
+      static_cast<uint64_t>(layout.vectors_offset + rows_ * row_stride_);
+  ok_ = ok_ && std::fseek(file_, 0, SEEK_SET) == 0;
+  ok_ = ok_ && std::fwrite(&header, sizeof(header), 1, file_) == 1;
+  ok_ = std::fclose(file_) == 0 && ok_;
+  file_ = nullptr;
+  return ok_;
+}
+
+}  // namespace gradgcl::retrieval

@@ -1,0 +1,207 @@
+// Quantized embedding store: the on-disk / in-RAM vector container the
+// retrieval indexes scan.
+//
+// File layout (<path>, little-endian, all blocks 8-byte aligned, the
+// vector block 64-byte aligned for the SIMD kernels):
+//
+//   [StoreHeader, 64 bytes]
+//   [scale:  f64[dim]]
+//   [offset: f64[dim]]
+//   [vectors: num_vectors rows x row_stride bytes]   at vectors_offset
+//   [inv_norms: f64[num_vectors]]                    at norms_offset
+//
+// row_stride is the per-row byte width (dim for int8, 2*dim for bf16)
+// rounded up to 64, so every row starts cache-line aligned; padding
+// bytes are written as zero and never read back (the kernels take the
+// logical dim). inv_norms[i] = 1 / ||decode(row_i)|| in f64 (0 for an
+// all-zero row) — the per-vector cosine correction the scans multiply
+// in, computed against the RECONSTRUCTED row so scores are cosines
+// against what the store actually holds.
+//
+// Persistence follows the src/data/ shard idioms:
+//  * StoreWriter appends row by row with O(1) memory beyond the norm
+//    array (8 bytes per vector), patches the header on Finalize.
+//  * QuantizedStore::Map mmaps a store read-only and scans it zero-copy;
+//    QuantizedStore::Load reads it into owned memory (small corpora /
+//    tests). Both validate every header field in int64 arithmetic
+//    against the real file size BEFORE any allocation or dereference,
+//    mirroring data/shard_reader: corrupt or truncated input of any
+//    shape yields a clean `false`, never an abort or a lying-header
+//    allocation (pinned by the corruption battery in
+//    tests/retrieval_test.cc).
+//
+// Scans (ScoreRows) are const and thread-safe; the retrieval indexes
+// parallelize over queries, never inside one query's scan, so results
+// are bit-identical at every GRADGCL_NUM_THREADS.
+
+#ifndef GRADGCL_RETRIEVAL_STORE_H_
+#define GRADGCL_RETRIEVAL_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "retrieval/quantize.h"
+#include "tensor/matrix.h"
+
+namespace gradgcl::retrieval {
+
+inline constexpr char kStoreMagic[4] = {'G', 'G', 'Q', 'S'};
+inline constexpr uint32_t kStoreFormatVersion = 1;
+
+// Fixed store header. Reserved words keep it at 64 bytes so the scale
+// block starts 8-byte (and the header itself cache-line) aligned.
+struct StoreHeader {
+  char magic[4];
+  uint32_t version;
+  int32_t tier;        // Tier enum value
+  int32_t dim;         // > 0, <= kMaxStoreDim
+  int64_t num_vectors; // >= 0
+  int64_t row_stride;  // bytes per row, 64-aligned
+  uint64_t vectors_offset;
+  uint64_t norms_offset;
+  uint64_t reserved0;
+  uint64_t reserved1;
+};
+static_assert(sizeof(StoreHeader) == 64);
+
+// Caps keep a lying header from sizing an allocation: dim is bounded
+// by the int8 kernels' overflow contract (tensor/simd.h kMaxInt8Dim)
+// and num_vectors by an addressability sanity bound.
+inline constexpr int64_t kMaxStoreDim = 32767;
+inline constexpr int64_t kMaxStoreVectors = int64_t{1} << 40;
+
+// A quantized vector block, either owned or memory-mapped.
+class QuantizedStore {
+ public:
+  QuantizedStore() = default;
+  ~QuantizedStore();
+
+  QuantizedStore(QuantizedStore&& other) noexcept;
+  QuantizedStore& operator=(QuantizedStore&& other) noexcept;
+  QuantizedStore(const QuantizedStore&) = delete;
+  QuantizedStore& operator=(const QuantizedStore&) = delete;
+
+  // Quantizes `corpus` rows (params computed from the corpus itself)
+  // into an owned block. Deterministic for every thread count.
+  static QuantizedStore Build(const Matrix& corpus, Tier tier);
+
+  // As Build, but with caller-supplied params (the IVF index quantizes
+  // per-list slices under the corpus-wide params).
+  static QuantizedStore BuildWithParams(const Matrix& corpus,
+                                        const QuantizationParams& params,
+                                        Tier tier);
+
+  // Maps `path` read-only (zero-copy scans; the page cache owns the
+  // bytes). Returns false on I/O error or any structural corruption.
+  bool Map(const std::string& path);
+
+  // Reads `path` into owned memory. Same validation as Map.
+  bool Load(const std::string& path);
+
+  // Writes the store to `path`. Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  bool is_open() const { return num_vectors_ >= 0 && dim_ > 0; }
+  int64_t num_vectors() const { return num_vectors_; }
+  int dim() const { return dim_; }
+  Tier tier() const { return tier_; }
+  int64_t row_stride() const { return row_stride_; }
+  const QuantizationParams& params() const { return params_; }
+  bool mapped() const { return mapped_base_ != nullptr; }
+
+  const int8_t* RowInt8(int64_t i) const {
+    return reinterpret_cast<const int8_t*>(data_ + i * row_stride_);
+  }
+  const uint16_t* RowBf16(int64_t i) const {
+    return reinterpret_cast<const uint16_t*>(data_ + i * row_stride_);
+  }
+  double inv_norm(int64_t i) const { return inv_norms_[i]; }
+
+  // Encodes one unit-norm f64 query for asymmetric int8 scoring
+  // (retrieval/quantize.h): out[d] = round(query[d] * scale[d] / s_q)
+  // with s_q = max_d |query[d] * scale[d]| / 127. Writes s_q to
+  // *query_scale and the query-constant bias sum_d query[d] * offset[d]
+  // to *query_bias. `out` must hold dim() codes. int8 tier only.
+  void EncodeQuery(const double* query, int8_t* out, double* query_scale,
+                   double* query_bias) const;
+
+  // Scores a query against rows [begin, end), one cosine-style score
+  // per row (cosine between the unit query and the reconstructed row):
+  //   int8: (query_bias + query_scale * dot_i8(q, row)) * inv_norm(row)
+  //   bf16: dot_f64(widen(row), query) * inv_norm(row)
+  // The int8 dot is exact integer arithmetic and the postprocess a
+  // fixed two-op f64 chain, so scores are bit-identical across ISAs
+  // and thread counts.
+  void ScoreRowsInt8(const int8_t* query, double query_scale,
+                     double query_bias, int64_t begin, int64_t end,
+                     double* scores) const;
+  void ScoreRowsBf16(const double* query, int64_t begin, int64_t end,
+                     double* scores) const;
+
+  // Reconstructs row i to f64 (tests, debugging).
+  void DecodeRow(int64_t i, double* out) const;
+
+ private:
+  void CloseMapping();
+  void InitLayout(int dim, Tier tier);
+  bool ValidateAndAdopt(const unsigned char* base, int64_t size);
+
+  Tier tier_ = Tier::kInt8;
+  int dim_ = 0;
+  int64_t num_vectors_ = -1;
+  int64_t row_stride_ = 0;
+  QuantizationParams params_;
+
+  // Owned storage (Build / Load).
+  std::vector<unsigned char> owned_data_;
+  std::vector<double> owned_inv_norms_;
+
+  // Mapped storage (Map). data_ / inv_norms_ point into whichever is
+  // active.
+  const unsigned char* mapped_base_ = nullptr;
+  int64_t mapped_size_ = 0;
+  int mapped_fd_ = -1;
+
+  const unsigned char* data_ = nullptr;
+  const double* inv_norms_ = nullptr;
+};
+
+// Streaming writer: append rows one at a time, Finalize patches the
+// header and appends the norm block. Peak RAM is one encoded row plus
+// 8 bytes per appended vector.
+class StoreWriter {
+ public:
+  StoreWriter(std::string path, QuantizationParams params, Tier tier);
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  // Appends one f64 row (params.dim() values). False on I/O failure.
+  bool Append(const double* row);
+
+  // Patches the header, writes the norm block. Exactly once; no Append
+  // after. False on I/O failure.
+  bool Finalize();
+
+  bool ok() const { return ok_; }
+  int64_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  QuantizationParams params_;
+  Tier tier_;
+  int64_t row_stride_ = 0;
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  bool finalized_ = false;
+  int64_t rows_ = 0;
+  std::vector<unsigned char> row_buf_;
+  std::vector<double> inv_norms_;
+};
+
+}  // namespace gradgcl::retrieval
+
+#endif  // GRADGCL_RETRIEVAL_STORE_H_

@@ -32,6 +32,8 @@ const KernelTable kScalarTable = {
     detail::ScaleScalar,
     detail::HadamardScalar,
     detail::AdamScalar,
+    detail::DotI8Scalar,
+    detail::L2I8Scalar,
 };
 
 #if defined(GRADGCL_SIMD_AVX2)

@@ -30,9 +30,14 @@
 //    primitives, so the fused == unfused bit-equality pinned by
 //    tests/pool_test.cc holds in either SIMD mode.
 //
-// SIMD-vs-scalar agreement is therefore bitwise for elementwise kernels
-// and the optimizer update, and tight-ULP (different but fixed reduction
-// orders) for GEMM and the reductions; tests/simd_test.cc pins both.
+//  * The int8 retrieval kernels (dot_i8 / l2_i8) accumulate in exact
+//    integer arithmetic, so every table returns the identical int32 —
+//    no reduction-order caveat at all.
+//
+// SIMD-vs-scalar agreement is therefore bitwise for elementwise kernels,
+// the optimizer update, and the int8 kernels, and tight-ULP (different
+// but fixed reduction orders) for GEMM and the f64 reductions;
+// tests/simd_test.cc pins both.
 
 #ifndef GRADGCL_TENSOR_SIMD_H_
 #define GRADGCL_TENSOR_SIMD_H_
@@ -119,7 +124,22 @@ struct KernelTable {
   // place); bit-identical across tables (mul/add/div/sqrt only).
   void (*adam)(double* w, double* m, double* v, const double* g, int64_t n,
                const AdamArgs& args);
+
+  // Quantized retrieval kernels (src/retrieval/): int8 dot product
+  // sum(x[i] * y[i]) and squared L2 distance sum((x[i] - y[i])^2) with
+  // int32 accumulation. Integer arithmetic is associative, so every
+  // table — whatever its lane layout — produces the exact same value:
+  // int8 kernels are bit-identical across ISAs AND thread counts by
+  // construction, with no pinned-chain caveats. Callers guarantee
+  // n <= kMaxInt8Dim so the i32 accumulator cannot overflow
+  // (|dot| <= n * 127^2, l2 <= n * 254^2 < 2^31 at the cap).
+  int32_t (*dot_i8)(const int8_t* x, const int8_t* y, int64_t n);
+  int32_t (*l2_i8)(const int8_t* x, const int8_t* y, int64_t n);
 };
+
+// Largest vector length the int8 kernels accept without risking i32
+// accumulator overflow: 32767 * 254^2 = 2,114,195,772 < 2^31 - 1.
+inline constexpr int64_t kMaxInt8Dim = 32767;
 
 // The table for ActiveIsa(). Cheap (atomic load + branch); callers
 // still hoist it out of inner loops.

@@ -356,10 +356,70 @@ void AdamAvx2(double* w, double* m, double* v, const double* g, int64_t n,
   detail::AdamScalar(w + i, m + i, v + i, g + i, n - i, args);
 }
 
+// int8 retrieval kernels: 32 bytes per step, each 16-byte half
+// sign-extended to i16x16 and pair-summed into i32 lanes with
+// _mm256_madd_epi16. All arithmetic is exact integer math, so the
+// result equals the scalar reference bit-for-bit regardless of lane
+// layout. Per-lane bound at n = kMaxInt8Dim: each madd lane adds at
+// most 2 * 254^2 per step over n/32 steps — far below 2^31.
+inline int32_t HSumI32(__m256i v) {
+  alignas(32) int32_t lane[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), v);
+  return lane[0] + lane[1] + lane[2] + lane[3] + lane[4] + lane[5] + lane[6] +
+         lane[7];
+}
+
+int32_t DotI8Avx2(const int8_t* x, const int8_t* y, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+    const __m256i ylo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(yv));
+    const __m256i xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+    const __m256i yhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(yv, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xlo, ylo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xhi, yhi));
+  }
+  int32_t total = HSumI32(acc);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(x[i]) * static_cast<int32_t>(y[i]);
+  }
+  return total;
+}
+
+int32_t L2I8Avx2(const int8_t* x, const int8_t* y, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i dlo = _mm256_sub_epi16(
+        _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv)),
+        _mm256_cvtepi8_epi16(_mm256_castsi256_si128(yv)));
+    const __m256i dhi = _mm256_sub_epi16(
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1)),
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(yv, 1)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dlo, dlo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dhi, dhi));
+  }
+  int32_t total = HSumI32(acc);
+  for (; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(x[i]) - static_cast<int32_t>(y[i]);
+    total += d * d;
+  }
+  return total;
+}
+
 const KernelTable kAvx2Table = {
     Isa::kAvx2,   GemmAvx2, GemmTransAAvx2, GemmTransBAvx2, DotAvx2,
     SumAvx2,      SumSqAvx2, AddAvx2,       SubAvx2,        ScaleAvx2,
-    HadamardAvx2, AdamAvx2,
+    HadamardAvx2, AdamAvx2, DotI8Avx2,      L2I8Avx2,
 };
 
 }  // namespace

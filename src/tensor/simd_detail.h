@@ -129,6 +129,23 @@ inline void HadamardScalar(double* out, const double* a, const double* b,
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
 }
 
+inline int32_t DotI8Scalar(const int8_t* x, const int8_t* y, int64_t n) {
+  int32_t s = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(x[i]) * static_cast<int32_t>(y[i]);
+  }
+  return s;
+}
+
+inline int32_t L2I8Scalar(const int8_t* x, const int8_t* y, int64_t n) {
+  int32_t s = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(x[i]) - static_cast<int32_t>(y[i]);
+    s += d * d;
+  }
+  return s;
+}
+
 inline void AdamScalar(double* w, double* m, double* v, const double* g,
                        int64_t n, const AdamArgs& args) {
   const double omb1 = 1.0 - args.beta1;

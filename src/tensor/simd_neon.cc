@@ -181,10 +181,50 @@ void AdamNeon(double* w, double* m, double* v, const double* g, int64_t n,
   detail::AdamScalar(w + i, m + i, v + i, g + i, n - i, args);
 }
 
+// int8 retrieval kernels: 16 bytes per step; vmull_s8 widens 8x8->16,
+// vpadalq_s16 pair-accumulates into i32x4. Exact integer arithmetic,
+// so the result is bit-identical to the scalar reference.
+int32_t DotI8Neon(const int8_t* x, const int8_t* y, int64_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t xv = vld1q_s8(x + i);
+    const int8x16_t yv = vld1q_s8(y + i);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(xv), vget_low_s8(yv)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(xv), vget_high_s8(yv)));
+  }
+  int32_t total = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(x[i]) * static_cast<int32_t>(y[i]);
+  }
+  return total;
+}
+
+int32_t L2I8Neon(const int8_t* x, const int8_t* y, int64_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t xv = vld1q_s8(x + i);
+    const int8x16_t yv = vld1q_s8(y + i);
+    const int16x8_t dlo = vsubl_s8(vget_low_s8(xv), vget_low_s8(yv));
+    const int16x8_t dhi = vsubl_s8(vget_high_s8(xv), vget_high_s8(yv));
+    acc = vmlal_s16(acc, vget_low_s16(dlo), vget_low_s16(dlo));
+    acc = vmlal_s16(acc, vget_high_s16(dlo), vget_high_s16(dlo));
+    acc = vmlal_s16(acc, vget_low_s16(dhi), vget_low_s16(dhi));
+    acc = vmlal_s16(acc, vget_high_s16(dhi), vget_high_s16(dhi));
+  }
+  int32_t total = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(x[i]) - static_cast<int32_t>(y[i]);
+    total += d * d;
+  }
+  return total;
+}
+
 const KernelTable kNeonTable = {
     Isa::kNeon,   GemmNeon, GemmTransANeon, GemmTransBNeon, DotNeon,
     SumNeon,      SumSqNeon, AddNeon,       SubNeon,        ScaleNeon,
-    HadamardNeon, AdamNeon,
+    HadamardNeon, AdamNeon, DotI8Neon,      L2I8Neon,
 };
 
 }  // namespace

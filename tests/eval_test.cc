@@ -301,6 +301,53 @@ TEST(TsneTest, DeterministicInSeed) {
   EXPECT_TRUE(AllClose(Tsne(x, options), Tsne(x, options)));
 }
 
+// Deterministic top-k (eval/similarity): ties break by ASCENDING
+// index, the ordering contract the retrieval indexes build on.
+TEST(TopKTest, TiesBreakByAscendingIndex) {
+  const double scores[] = {0.5, 0.9, 0.5, 0.9, 0.1, 0.9};
+  const auto top = TopKNeighbors(scores, 6, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].index, 1);  // the 0.9s first, lowest index leading
+  EXPECT_EQ(top[1].index, 3);
+  EXPECT_EQ(top[2].index, 5);
+  EXPECT_EQ(top[3].index, 0);  // then the first 0.5
+  EXPECT_EQ(top[3].score, 0.5);
+  const auto indices = TopKIndices(scores, 6, 4);
+  for (size_t i = 0; i < top.size(); ++i) EXPECT_EQ(indices[i], top[i].index);
+}
+
+TEST(TopKTest, AllTiedReturnsFirstKIndicesInOrder) {
+  const std::vector<double> scores(100, 1.0);
+  const auto indices = TopKIndices(scores.data(), 100, 5);
+  ASSERT_EQ(indices.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(indices[i], i);
+}
+
+TEST(TopKTest, KLargerThanNAndEmptyInputs) {
+  const double scores[] = {0.2, 0.8};
+  const auto top = TopKNeighbors(scores, 2, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1);
+  EXPECT_EQ(top[1].index, 0);
+  EXPECT_TRUE(TopKNeighbors(scores, 2, 0).empty());
+  EXPECT_TRUE(TopKNeighbors(nullptr, 0, 3).empty());
+}
+
+TEST(TopKTest, OrderedByScoreDescendingOnRandomInput) {
+  Rng rng(20);
+  std::vector<double> scores(500);
+  for (double& s : scores) s = rng.Uniform();
+  const auto top = TopKNeighbors(scores.data(), 500, 50);
+  ASSERT_EQ(top.size(), 50u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score) << i;
+  }
+  // The k-th kept score dominates everything not kept.
+  std::vector<double> sorted = scores;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_EQ(top.back().score, sorted[49]);
+}
+
 TEST(SilhouetteTest, PerfectClustersNearOne) {
   Matrix x{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}};
   EXPECT_GT(SilhouetteScore(x, {0, 0, 1, 1}), 0.9);

@@ -437,6 +437,63 @@ TEST(SimdNanTest, ZeroTimesInfPropagatesInEveryTable) {
   }
 }
 
+// --- int8 retrieval kernels -------------------------------------------------
+
+// The int8 dot/L2 entries accumulate exact integers, so every table
+// must agree BITWISE with the scalar reference and with a widened
+// int64 model — across lengths straddling the 16/32-byte vector widths
+// and at the extreme code values.
+TEST(SimdInt8Test, DotAndL2AgreeWithScalarTableExactly) {
+  SimdGuard guard;
+  Rng rng(2024);
+  for (const int n : {1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 513}) {
+    std::vector<int8_t> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+      x[i] = static_cast<int8_t>(rng.UniformInt(255) - 127);
+      y[i] = static_cast<int8_t>(rng.UniformInt(255) - 127);
+    }
+    int64_t dot_ref = 0, l2_ref = 0;
+    for (int i = 0; i < n; ++i) {
+      dot_ref += static_cast<int64_t>(x[i]) * y[i];
+      const int64_t d = static_cast<int64_t>(x[i]) - y[i];
+      l2_ref += d * d;
+    }
+    simd::SetEnabled(true);
+    const int32_t dot_vec = simd::Active().dot_i8(x.data(), y.data(), n);
+    const int32_t l2_vec = simd::Active().l2_i8(x.data(), y.data(), n);
+    simd::SetEnabled(false);
+    const int32_t dot_scalar = simd::Active().dot_i8(x.data(), y.data(), n);
+    const int32_t l2_scalar = simd::Active().l2_i8(x.data(), y.data(), n);
+    EXPECT_EQ(dot_vec, dot_ref) << "n=" << n;
+    EXPECT_EQ(dot_scalar, dot_ref) << "n=" << n;
+    EXPECT_EQ(l2_vec, l2_ref) << "n=" << n;
+    EXPECT_EQ(l2_scalar, l2_ref) << "n=" << n;
+  }
+}
+
+// Worst-case magnitudes at the documented dimension cap stay inside
+// int32: |dot| <= n * 127^2 and l2 <= n * 254^2 for n = kMaxInt8Dim.
+TEST(SimdInt8Test, WorstCaseAccumulationStaysInInt32AtDimCap) {
+  SimdGuard guard;
+  const int64_t n = simd::kMaxInt8Dim;
+  static_assert(simd::kMaxInt8Dim * 254LL * 254LL <=
+                std::numeric_limits<int32_t>::max());
+  std::vector<int8_t> hi(n, 127), lo(n, -127);
+  for (bool enabled : {true, false}) {
+    simd::SetEnabled(enabled);
+    const simd::KernelTable& t = simd::Active();
+    EXPECT_EQ(t.dot_i8(hi.data(), lo.data(), n),
+              static_cast<int32_t>(-n * 127 * 127))
+        << enabled;
+    EXPECT_EQ(t.l2_i8(hi.data(), lo.data(), n),
+              static_cast<int32_t>(n * 254 * 254))
+        << enabled;
+    EXPECT_EQ(t.dot_i8(hi.data(), hi.data(), n),
+              static_cast<int32_t>(n * 127 * 127))
+        << enabled;
+  }
+}
+
 // --- Buffer alignment -------------------------------------------------------
 
 TEST(SimdAlignmentTest, HeapAndPooledBuffersAre64ByteAligned) {
