@@ -38,6 +38,14 @@ const Matrix& Variable::grad() const {
   return node_->grad;
 }
 
+void Variable::set_grad(Matrix grad) {
+  GRADGCL_CHECK_MSG(defined(), "set_grad on null Variable");
+  GRADGCL_CHECK(grad.rows() == node_->value.rows() &&
+                grad.cols() == node_->value.cols());
+  node_->grad = std::move(grad);
+  node_->grad_initialized = true;
+}
+
 void Variable::set_value(Matrix value) {
   GRADGCL_CHECK_MSG(defined(), "set_value on null Variable");
   GRADGCL_CHECK(value.rows() == node_->value.rows() &&

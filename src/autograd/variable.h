@@ -61,6 +61,11 @@ class Variable {
   // Gradient accumulated by Backward(); zero matrix if untouched.
   const Matrix& grad() const;
 
+  // Overwrites the accumulated gradient (shape-checked). Used by the
+  // distributed trainer to install the all-reduced gradient before the
+  // optimiser step.
+  void set_grad(Matrix grad);
+
   // Overwrites the stored value, keeping the node identity (used by
   // optimisers so downstream graphs keep referring to the same node).
   void set_value(Matrix value);

@@ -113,4 +113,21 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+RngState Rng::state() const {
+  RngState snapshot;
+  for (int i = 0; i < 4; ++i) snapshot.s[i] = state_[i];
+  snapshot.has_cached_normal = has_cached_normal_;
+  snapshot.cached_normal = cached_normal_;
+  return snapshot;
+}
+
+void Rng::set_state(const RngState& state) {
+  // Reject the all-zero xoshiro state (never produced by state()).
+  GRADGCL_CHECK(state.s[0] != 0 || state.s[1] != 0 || state.s[2] != 0 ||
+                state.s[3] != 0);
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace gradgcl

@@ -15,6 +15,15 @@
 
 namespace gradgcl {
 
+// Complete serializable state of an Rng stream (the four xoshiro words
+// plus the Box–Muller cache). Lets checkpoint/resume freeze a stream
+// mid-flight and restart it bit-exactly (src/distributed/checkpoint).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 // Deterministic pseudo-random generator (xoshiro256++).
 //
 // Not thread-safe; use one instance per thread or component.
@@ -62,6 +71,13 @@ class Rng {
   // Forks a statistically independent child stream. Useful for giving
   // each sub-component its own reproducible stream.
   Rng Fork();
+
+  // Snapshot / restore of the full stream state. Restoring a snapshot
+  // makes the stream produce exactly the outputs it would have
+  // produced from the snapshot point, including a pending Box–Muller
+  // cached normal.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   uint64_t state_[4];

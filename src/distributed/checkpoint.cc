@@ -1,0 +1,191 @@
+#include "distributed/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gradgcl {
+namespace dist {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'G', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+constexpr int64_t kHeaderBytes = 96;
+constexpr int32_t kMaxTensors = 1 << 20;
+constexpr int32_t kMaxDim = 1 << 30;
+
+template <typename T>
+T ReadAs(const unsigned char* base, int64_t offset) {
+  T v;
+  std::memcpy(&v, base + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void PutAs(unsigned char* base, int64_t offset, T v) {
+  std::memcpy(base + offset, &v, sizeof(T));
+}
+
+// RAII mapping so every rejection path unmaps/closes without cleanup
+// boilerplate (and without allocating).
+struct Mapping {
+  const unsigned char* base = nullptr;
+  int64_t size = 0;
+  int fd = -1;
+  ~Mapping() {
+    if (base != nullptr) {
+      ::munmap(const_cast<unsigned char*>(base), static_cast<size_t>(size));
+    }
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+bool SaveCheckpoint(const std::string& path, const TrainCheckpoint& ckpt) {
+  const size_t count = ckpt.params.size();
+  GRADGCL_CHECK(ckpt.adam_m.size() == count && ckpt.adam_v.size() == count);
+  GRADGCL_CHECK(count <= static_cast<size_t>(kMaxTensors));
+  GRADGCL_CHECK(ckpt.global_step >= 0 && ckpt.epoch >= 0 && ckpt.window >= 0);
+  GRADGCL_CHECK(ckpt.adam_t >= 0 && ckpt.accum >= 1);
+  for (size_t k = 0; k < count; ++k) {
+    GRADGCL_CHECK(ckpt.params[k].rows() >= 1 && ckpt.params[k].cols() >= 1);
+    GRADGCL_CHECK(ckpt.adam_m[k].rows() == ckpt.params[k].rows() &&
+                  ckpt.adam_m[k].cols() == ckpt.params[k].cols());
+    GRADGCL_CHECK(ckpt.adam_v[k].rows() == ckpt.params[k].rows() &&
+                  ckpt.adam_v[k].cols() == ckpt.params[k].cols());
+  }
+
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  unsigned char header[kHeaderBytes] = {0};
+  std::memcpy(header, kMagic, 4);
+  PutAs<uint32_t>(header, 4, kVersion);
+  PutAs<int64_t>(header, 8, ckpt.global_step);
+  PutAs<int64_t>(header, 16, ckpt.epoch);
+  PutAs<int64_t>(header, 24, ckpt.window);
+  PutAs<int64_t>(header, 32, ckpt.adam_t);
+  for (int i = 0; i < 4; ++i) {
+    PutAs<uint64_t>(header, 40 + 8 * i, ckpt.plan_rng.s[i]);
+  }
+  PutAs<uint32_t>(header, 72, ckpt.plan_rng.has_cached_normal ? 1u : 0u);
+  PutAs<uint32_t>(header, 76, 0u);
+  PutAs<double>(header, 80, ckpt.plan_rng.cached_normal);
+  PutAs<int32_t>(header, 88, ckpt.accum);
+  PutAs<int32_t>(header, 92, static_cast<int32_t>(count));
+
+  bool ok = std::fwrite(header, 1, kHeaderBytes, f) ==
+            static_cast<size_t>(kHeaderBytes);
+  for (size_t k = 0; ok && k < count; ++k) {
+    const int32_t shape[2] = {ckpt.params[k].rows(), ckpt.params[k].cols()};
+    ok = std::fwrite(shape, sizeof(int32_t), 2, f) == 2;
+  }
+  for (const auto* group : {&ckpt.params, &ckpt.adam_m, &ckpt.adam_v}) {
+    for (size_t k = 0; ok && k < count; ++k) {
+      const Matrix& m = (*group)[k];
+      ok = std::fwrite(m.data(), sizeof(double),
+                       static_cast<size_t>(m.size()),
+                       f) == static_cast<size_t>(m.size());
+    }
+  }
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, TrainCheckpoint* out) {
+  GRADGCL_CHECK(out != nullptr);
+  Mapping map;
+  map.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (map.fd < 0) return false;
+  struct stat st;
+  if (::fstat(map.fd, &st) != 0 || st.st_size < kHeaderBytes) return false;
+  map.size = static_cast<int64_t>(st.st_size);
+  void* base = ::mmap(nullptr, static_cast<size_t>(map.size), PROT_READ,
+                      MAP_PRIVATE, map.fd, 0);
+  if (base == MAP_FAILED) return false;
+  map.base = static_cast<const unsigned char*>(base);
+  const unsigned char* b = map.base;
+  const int64_t size = map.size;
+
+  // --- Structural validation: every field checked in int64 arithmetic
+  // against the true file size before anything is allocated. ---
+  if (std::memcmp(b, kMagic, 4) != 0) return false;
+  if (ReadAs<uint32_t>(b, 4) != kVersion) return false;
+  const int64_t global_step = ReadAs<int64_t>(b, 8);
+  const int64_t epoch = ReadAs<int64_t>(b, 16);
+  const int64_t window = ReadAs<int64_t>(b, 24);
+  const int64_t adam_t = ReadAs<int64_t>(b, 32);
+  if (global_step < 0 || epoch < 0 || window < 0) return false;
+  if (adam_t < 0 || adam_t > global_step) return false;
+  uint64_t rng_s[4];
+  for (int i = 0; i < 4; ++i) rng_s[i] = ReadAs<uint64_t>(b, 40 + 8 * i);
+  if (rng_s[0] == 0 && rng_s[1] == 0 && rng_s[2] == 0 && rng_s[3] == 0) {
+    return false;  // invalid xoshiro state, never produced by a save
+  }
+  const uint32_t has_cached = ReadAs<uint32_t>(b, 72);
+  if (has_cached > 1) return false;
+  if (ReadAs<uint32_t>(b, 76) != 0) return false;  // reserved
+  const int32_t accum = ReadAs<int32_t>(b, 88);
+  const int32_t count = ReadAs<int32_t>(b, 92);
+  if (accum < 1 || accum > kMaxTensors) return false;
+  if (count < 0 || count > kMaxTensors) return false;
+  const int64_t table_bytes = 8LL * count;
+  if (kHeaderBytes + table_bytes > size) return false;
+  int64_t total = 0;  // doubles across one tensor group
+  for (int32_t k = 0; k < count; ++k) {
+    const int32_t rows = ReadAs<int32_t>(b, kHeaderBytes + 8LL * k);
+    const int32_t cols = ReadAs<int32_t>(b, kHeaderBytes + 8LL * k + 4);
+    if (rows < 1 || cols < 1 || rows > kMaxDim || cols > kMaxDim) return false;
+    const int64_t n = static_cast<int64_t>(rows) * cols;
+    if (n > size / 8) return false;
+    total += n;
+    if (total > size / 8) return false;  // monotone: no int64 overflow
+  }
+  // Exact size: header + shape table + three payload groups.
+  if (kHeaderBytes + table_bytes + 24 * total != size) return false;
+
+  // --- Allocate and copy. ---
+  out->global_step = global_step;
+  out->epoch = epoch;
+  out->window = window;
+  out->adam_t = adam_t;
+  for (int i = 0; i < 4; ++i) out->plan_rng.s[i] = rng_s[i];
+  out->plan_rng.has_cached_normal = has_cached == 1;
+  out->plan_rng.cached_normal = ReadAs<double>(b, 80);
+  out->accum = accum;
+  const unsigned char* payload = b + kHeaderBytes + table_bytes;
+  for (auto* group : {&out->params, &out->adam_m, &out->adam_v}) {
+    group->clear();
+    group->reserve(static_cast<size_t>(count));
+    for (int32_t k = 0; k < count; ++k) {
+      const int32_t rows = ReadAs<int32_t>(b, kHeaderBytes + 8LL * k);
+      const int32_t cols = ReadAs<int32_t>(b, kHeaderBytes + 8LL * k + 4);
+      Matrix m = Matrix::Uninitialized(rows, cols);
+      std::memcpy(m.data(), payload, sizeof(double) * m.size());
+      payload += sizeof(double) * m.size();
+      group->push_back(std::move(m));
+    }
+  }
+  return true;
+}
+
+}  // namespace dist
+}  // namespace gradgcl

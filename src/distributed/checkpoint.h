@@ -1,0 +1,75 @@
+// Versioned training checkpoints for the data-parallel trainer.
+//
+// A checkpoint freezes everything the trainer needs to continue a run
+// bit-exactly: model parameters, Adam moment estimates and step count,
+// the plan-Rng state at the start of the checkpointed epoch, and the
+// (epoch, window, global step) cursor. Resume restores the Rng,
+// replays the epoch's batch plan deterministically (plans are a pure
+// function of the restored stream), and continues from the saved
+// window — the resumed trajectory is bit-identical to an uninterrupted
+// run, pinned by tests.
+//
+// On-disk format "GGCK" v1 (little-endian, host doubles):
+//
+//   offset  size  field
+//        0     4  magic "GGCK"
+//        4     4  u32 version (1)
+//        8     8  i64 global_step      completed optimizer steps
+//       16     8  i64 epoch            epoch containing the next window
+//       24     8  i64 window           next window within `epoch`
+//       32     8  i64 adam_t           Adam step count
+//       40    32  u64 rng_s[4]         plan-Rng xoshiro words (epoch start)
+//       72     4  u32 rng_has_cached   0 or 1 (Box–Muller cache flag)
+//       76     4  u32 reserved         must be 0
+//       80     8  f64 rng_cached       cached normal (0.0 if none)
+//       88     4  i32 accum            micro-batches per step at save time
+//       92     4  i32 tensor_count
+//       96    8k  shape table: tensor_count x (i32 rows, i32 cols)
+//        ...       payload: all params, then all Adam m, then all Adam v,
+//                  each tensor rows*cols doubles in parameter order
+//
+// Loading follows the hardened nn/serialize discipline: the file is
+// mmap'd read-only and every header and shape-table field is validated
+// in int64 arithmetic against the true file size BEFORE any allocation
+// — a corrupt file is rejected with zero heap allocations (pinned by
+// the byte-patch battery in tests/distributed_test.cc). Saving writes
+// to `path.tmp` and renames, so a crash mid-save never clobbers the
+// previous checkpoint.
+
+#ifndef GRADGCL_DISTRIBUTED_CHECKPOINT_H_
+#define GRADGCL_DISTRIBUTED_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace gradgcl {
+namespace dist {
+
+struct TrainCheckpoint {
+  int64_t global_step = 0;  // optimizer steps completed
+  int64_t epoch = 0;        // epoch containing the next window to run
+  int64_t window = 0;       // next window within `epoch`
+  int64_t adam_t = 0;
+  RngState plan_rng;        // plan stream state at the START of `epoch`
+  int accum = 0;            // micro_batches_per_step (sanity-checked on resume)
+  std::vector<Matrix> params;
+  std::vector<Matrix> adam_m;
+  std::vector<Matrix> adam_v;
+};
+
+// Writes `ckpt` to `path` (via rename of `path.tmp`). Returns false on
+// I/O failure.
+bool SaveCheckpoint(const std::string& path, const TrainCheckpoint& ckpt);
+
+// Loads `path` into `out`. Returns false (allocating nothing) if the
+// file is missing, truncated, or structurally corrupt in any header or
+// shape-table field.
+bool LoadCheckpoint(const std::string& path, TrainCheckpoint* out);
+
+}  // namespace dist
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DISTRIBUTED_CHECKPOINT_H_

@@ -1,0 +1,135 @@
+#include "distributed/comm.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+#include "distributed/ring_allreduce.h"
+
+namespace gradgcl {
+namespace dist {
+
+const char* CommStatusName(CommStatus status) {
+  switch (status) {
+    case CommStatus::kOk:
+      return "ok";
+    case CommStatus::kTimeout:
+      return "timeout";
+    case CommStatus::kPeerDead:
+      return "peer_dead";
+    case CommStatus::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+CommStatus CommBackend::SendRecv(const void* send, int64_t send_n, void* recv,
+                                 int64_t recv_n) {
+  // Correct only for transports whose SendNext never blocks on the
+  // receiver (ThreadComm's unbounded mailboxes). SocketComm overrides.
+  const CommStatus s = SendNext(send, send_n);
+  if (s != CommStatus::kOk) return s;
+  return RecvPrev(recv, recv_n);
+}
+
+CommStatus CommBackend::Broadcast(void* bytes, int64_t n, int root) {
+  GRADGCL_CHECK(root >= 0 && root < world_size());
+  GRADGCL_CHECK(n >= 0);
+  if (world_size() == 1 || n == 0) return CommStatus::kOk;
+  // Relay around the ring: root sends, every other rank receives and
+  // forwards (except the rank just before root, which only receives).
+  const int pos = (rank() - root + world_size()) % world_size();
+  if (pos == 0) return SendNext(bytes, n);
+  const CommStatus s = RecvPrev(bytes, n);
+  if (s != CommStatus::kOk) return s;
+  if (pos < world_size() - 1) return SendNext(bytes, n);
+  return CommStatus::kOk;
+}
+
+CommStatus CommBackend::Barrier() {
+  if (world_size() == 1) return CommStatus::kOk;
+  // Two token laps: the first collects entry (token back at rank 0
+  // proves every rank has entered), the second releases.
+  unsigned char token = 0;
+  for (int lap = 0; lap < 2; ++lap) {
+    CommStatus s;
+    if (rank() == 0) {
+      s = SendNext(&token, 1);
+      if (s != CommStatus::kOk) return s;
+      s = RecvPrev(&token, 1);
+    } else {
+      s = RecvPrev(&token, 1);
+      if (s != CommStatus::kOk) return s;
+      s = SendNext(&token, 1);
+    }
+    if (s != CommStatus::kOk) return s;
+  }
+  return CommStatus::kOk;
+}
+
+CommStatus CommBackend::AllReduceSum(double* data, int64_t n,
+                                     int64_t bucket_bytes) {
+  return RingAllReduceSum(*this, data, n, bucket_bytes);
+}
+
+// --- ThreadComm -----------------------------------------------------------
+
+ThreadComm::ThreadComm(std::shared_ptr<internal::ThreadRingShared> shared,
+                       int rank)
+    : shared_(std::move(shared)), rank_(rank) {
+  GRADGCL_CHECK(shared_ != nullptr);
+  GRADGCL_CHECK(rank_ >= 0 && rank_ < static_cast<int>(shared_->edges.size()));
+}
+
+CommStatus ThreadComm::SendNext(const void* bytes, int64_t n) {
+  GRADGCL_CHECK(n >= 0);
+  if (n == 0) return CommStatus::kOk;
+  internal::Mailbox& edge = shared_->edges[rank_];
+  std::lock_guard<std::mutex> lock(edge.mu);
+  if (edge.dead) return CommStatus::kPeerDead;
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  edge.queue.emplace_back(p, p + n);
+  edge.cv.notify_all();
+  return CommStatus::kOk;
+}
+
+CommStatus ThreadComm::RecvPrev(void* bytes, int64_t n) {
+  GRADGCL_CHECK(n >= 0);
+  if (n == 0) return CommStatus::kOk;
+  const int world = world_size();
+  internal::Mailbox& edge = shared_->edges[(rank_ - 1 + world) % world];
+  std::unique_lock<std::mutex> lock(edge.mu);
+  const bool ready = edge.cv.wait_for(
+      lock, std::chrono::milliseconds(timeout_millis()),
+      [&edge] { return edge.dead || !edge.queue.empty(); });
+  if (edge.dead) return CommStatus::kPeerDead;
+  if (!ready) return CommStatus::kTimeout;
+  std::vector<unsigned char> msg = std::move(edge.queue.front());
+  edge.queue.pop_front();
+  lock.unlock();
+  if (static_cast<int64_t>(msg.size()) != n) return CommStatus::kProtocol;
+  std::memcpy(bytes, msg.data(), static_cast<size_t>(n));
+  return CommStatus::kOk;
+}
+
+void ThreadComm::Abort() {
+  for (internal::Mailbox& edge : shared_->edges) {
+    std::lock_guard<std::mutex> lock(edge.mu);
+    edge.dead = true;
+    edge.cv.notify_all();
+  }
+}
+
+std::vector<std::unique_ptr<CommBackend>> CreateThreadRing(int world_size) {
+  GRADGCL_CHECK(world_size >= 1);
+  auto shared = std::make_shared<internal::ThreadRingShared>(world_size);
+  std::vector<std::unique_ptr<CommBackend>> ring;
+  ring.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    ring.push_back(std::make_unique<ThreadComm>(shared, r));
+  }
+  return ring;
+}
+
+}  // namespace dist
+}  // namespace gradgcl

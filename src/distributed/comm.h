@@ -1,0 +1,149 @@
+// Rank-to-rank communication for data-parallel training.
+//
+// A CommBackend connects one rank into a fixed ring of `world_size`
+// ranks and exposes exactly the transport the deterministic collectives
+// need: blocking byte transfer to the next rank and from the previous
+// rank, plus a full-duplex SendRecv used by the all-reduce so large
+// simultaneous exchanges cannot deadlock on transport buffering.
+// Collectives (Broadcast / Barrier / AllReduceSum) are implemented once
+// here on top of that ring interface, so every backend gets the same
+// deterministic schedule — the reduction order is a pure function of
+// the data layout and world size, never of message arrival order
+// (ring_allreduce.h).
+//
+// Two transports ship:
+//  - ThreadComm (this header): in-process ranks on threads, exchanging
+//    through per-edge mailboxes in shared memory. Each rank keeps its
+//    own staging arenas (and its own TapeScope matrix arenas), so
+//    nothing but the mailboxes is shared.
+//  - SocketComm (comm_socket.h): local Unix-domain-socket pairs, usable
+//    from threads or from fork()ed processes.
+//
+// Every operation returns a typed CommStatus instead of blocking
+// forever: a dead peer surfaces kPeerDead, a silent one kTimeout within
+// the configured timeout. Callers must not touch model state after a
+// non-kOk status — the data-parallel trainer guarantees no partial
+// parameter update by only applying gradients after a fully successful
+// all-reduce.
+
+#ifndef GRADGCL_DISTRIBUTED_COMM_H_
+#define GRADGCL_DISTRIBUTED_COMM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gradgcl {
+namespace dist {
+
+// Outcome of a communication operation.
+enum class CommStatus {
+  kOk = 0,
+  kTimeout,   // peer alive but no progress within timeout_millis
+  kPeerDead,  // peer closed / aborted its endpoint
+  kProtocol,  // framing violation (message size mismatch)
+};
+
+const char* CommStatusName(CommStatus status);
+
+// One rank's endpoint in a fixed ring. Not thread-safe: each rank owns
+// its backend and calls it from its own thread/process. Abort() is the
+// one exception — it may be called from any thread (fault injection,
+// teardown) and causes every pending and future operation on the ring
+// to fail fast with kPeerDead.
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+  virtual const char* name() const = 0;  // "thread" | "socket"
+
+  // Blocking transfer of exactly `n` bytes to rank (rank+1)%W / from
+  // rank (rank-1+W)%W. n == 0 succeeds immediately.
+  virtual CommStatus SendNext(const void* bytes, int64_t n) = 0;
+  virtual CommStatus RecvPrev(void* bytes, int64_t n) = 0;
+
+  // Full-duplex step: send `send_n` bytes to next while receiving
+  // `recv_n` bytes from prev. Backends whose SendNext can block on
+  // transport buffering (sockets) must override this with a progress
+  // loop; the default issues SendNext then RecvPrev, which is correct
+  // for backends with unbounded send buffering (ThreadComm).
+  virtual CommStatus SendRecv(const void* send, int64_t send_n, void* recv,
+                              int64_t recv_n);
+
+  // Marks the ring dead. All ranks' pending/future operations return
+  // kPeerDead promptly. Safe from any thread; idempotent.
+  virtual void Abort() = 0;
+
+  // Per-operation deadline for blocking receives (and socket sends).
+  void set_timeout_millis(int64_t ms) { timeout_millis_ = ms; }
+  int64_t timeout_millis() const { return timeout_millis_; }
+
+  // --- Ring collectives (deterministic; implemented in comm.cc) -----------
+
+  // Copies root's `n` bytes into every rank's buffer by forwarding
+  // around the ring (root -> root+1 -> ... -> root-1).
+  CommStatus Broadcast(void* bytes, int64_t n, int root);
+
+  // Blocks until every rank has entered the barrier (two token laps).
+  CommStatus Barrier();
+
+  // Elementwise sum of every rank's `data[0..n)` with a reduction order
+  // that is a pure function of (n, world_size, bucket_bytes) — see
+  // ring_allreduce.h. All ranks end with bit-identical sums.
+  CommStatus AllReduceSum(double* data, int64_t n, int64_t bucket_bytes);
+
+ private:
+  int64_t timeout_millis_ = 30000;
+};
+
+namespace internal {
+
+// One directed ring edge: rank e -> rank (e+1)%W. Messages are copied
+// whole into the queue, so a sender never blocks (unbounded buffer).
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<unsigned char>> queue;
+  bool dead = false;
+};
+
+struct ThreadRingShared {
+  explicit ThreadRingShared(int world) : edges(world) {}
+  std::vector<Mailbox> edges;
+};
+
+}  // namespace internal
+
+// In-process transport: ranks are threads, edges are mailboxes.
+class ThreadComm : public CommBackend {
+ public:
+  ThreadComm(std::shared_ptr<internal::ThreadRingShared> shared, int rank);
+
+  int rank() const override { return rank_; }
+  int world_size() const override {
+    return static_cast<int>(shared_->edges.size());
+  }
+  const char* name() const override { return "thread"; }
+
+  CommStatus SendNext(const void* bytes, int64_t n) override;
+  CommStatus RecvPrev(void* bytes, int64_t n) override;
+  void Abort() override;
+
+ private:
+  std::shared_ptr<internal::ThreadRingShared> shared_;
+  int rank_;
+};
+
+// Builds a connected ring of `world_size` in-process endpoints; hand
+// endpoint i to rank i's thread.
+std::vector<std::unique_ptr<CommBackend>> CreateThreadRing(int world_size);
+
+}  // namespace dist
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DISTRIBUTED_COMM_H_

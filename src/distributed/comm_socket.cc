@@ -1,0 +1,163 @@
+#include "distributed/comm_socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gradgcl {
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  GRADGCL_CHECK(flags >= 0);
+  GRADGCL_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+// Milliseconds left until `deadline`, clamped to >= 0.
+int RemainingMillis(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+bool IsPeerDeadErrno(int e) {
+  return e == EPIPE || e == ECONNRESET || e == EBADF || e == ENOTCONN;
+}
+
+}  // namespace
+
+SocketComm::SocketComm(int rank, int world_size, int send_fd, int recv_fd)
+    : rank_(rank), world_(world_size), send_fd_(send_fd), recv_fd_(recv_fd) {
+  GRADGCL_CHECK(rank >= 0 && rank < world_size);
+  GRADGCL_CHECK(send_fd >= 0 && recv_fd >= 0);
+}
+
+SocketComm::~SocketComm() { CloseEndpoints(); }
+
+void SocketComm::CloseEndpoints() {
+  if (send_fd_ >= 0) {
+    close(send_fd_);
+    send_fd_ = -1;
+  }
+  if (recv_fd_ >= 0) {
+    close(recv_fd_);
+    recv_fd_ = -1;
+  }
+}
+
+void SocketComm::Abort() {
+  // shutdown (not close) so a concurrent poll on these fds in another
+  // thread wakes with POLLHUP instead of racing a reused descriptor.
+  if (send_fd_ >= 0) shutdown(send_fd_, SHUT_RDWR);
+  if (recv_fd_ >= 0) shutdown(recv_fd_, SHUT_RDWR);
+}
+
+CommStatus SocketComm::SendRecv(const void* send, int64_t send_n, void* recv,
+                                int64_t recv_n) {
+  GRADGCL_CHECK(send_n >= 0 && recv_n >= 0);
+  const auto* send_p = static_cast<const unsigned char*>(send);
+  auto* recv_p = static_cast<unsigned char*>(recv);
+  int64_t sent = 0;
+  int64_t received = 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_millis());
+  while (sent < send_n || received < recv_n) {
+    if (send_fd_ < 0 || recv_fd_ < 0) return CommStatus::kPeerDead;
+    bool progressed = false;
+    if (sent < send_n) {
+      const ssize_t k = ::send(send_fd_, send_p + sent,
+                               static_cast<size_t>(send_n - sent),
+                               MSG_NOSIGNAL);
+      if (k > 0) {
+        sent += k;
+        progressed = true;
+      } else if (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        return IsPeerDeadErrno(errno) ? CommStatus::kPeerDead
+                                      : CommStatus::kProtocol;
+      }
+    }
+    if (received < recv_n) {
+      const ssize_t k = ::recv(recv_fd_, recv_p + received,
+                               static_cast<size_t>(recv_n - received), 0);
+      if (k > 0) {
+        received += k;
+        progressed = true;
+      } else if (k == 0) {
+        return CommStatus::kPeerDead;  // orderly EOF: peer closed/aborted
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        return IsPeerDeadErrno(errno) ? CommStatus::kPeerDead
+                                      : CommStatus::kProtocol;
+      }
+    }
+    if (progressed || (sent >= send_n && received >= recv_n)) continue;
+    // Both directions blocked: wait for whichever becomes ready.
+    struct pollfd fds[2];
+    int nfds = 0;
+    if (sent < send_n) {
+      fds[nfds].fd = send_fd_;
+      fds[nfds].events = POLLOUT;
+      ++nfds;
+    }
+    if (received < recv_n) {
+      fds[nfds].fd = recv_fd_;
+      fds[nfds].events = POLLIN;
+      ++nfds;
+    }
+    const int wait = RemainingMillis(deadline);
+    if (wait == 0) return CommStatus::kTimeout;
+    const int ready = poll(fds, static_cast<nfds_t>(nfds), wait);
+    if (ready == 0) return CommStatus::kTimeout;
+    if (ready < 0 && errno != EINTR) return CommStatus::kProtocol;
+    // POLLHUP/POLLERR fall through: the next send/recv attempt reports
+    // the precise status.
+  }
+  return CommStatus::kOk;
+}
+
+CommStatus SocketComm::SendNext(const void* bytes, int64_t n) {
+  return SendRecv(bytes, n, nullptr, 0);
+}
+
+CommStatus SocketComm::RecvPrev(void* bytes, int64_t n) {
+  return SendRecv(nullptr, 0, bytes, n);
+}
+
+std::vector<std::unique_ptr<SocketComm>> CreateSocketRing(int world_size) {
+  GRADGCL_CHECK(world_size >= 1);
+  // Edge e carries rank e -> rank (e+1) % world. fds[e][0] is the
+  // sender's end, fds[e][1] the receiver's.
+  std::vector<std::array<int, 2>> edges(world_size);
+  for (int e = 0; e < world_size; ++e) {
+    int pair[2];
+    GRADGCL_CHECK_MSG(socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0,
+                      "socketpair failed");
+    SetNonBlocking(pair[0]);
+    SetNonBlocking(pair[1]);
+    edges[e] = {pair[0], pair[1]};
+  }
+  std::vector<std::unique_ptr<SocketComm>> ring;
+  ring.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    const int prev_edge = (r - 1 + world_size) % world_size;
+    ring.push_back(std::make_unique<SocketComm>(
+        r, world_size, /*send_fd=*/edges[r][0],
+        /*recv_fd=*/edges[prev_edge][1]));
+  }
+  return ring;
+}
+
+}  // namespace dist
+}  // namespace gradgcl

@@ -1,0 +1,72 @@
+// Unix-domain-socket transport for the distributed comm ring.
+//
+// CreateSocketRing builds one connected socketpair per ring edge and
+// hands each rank an endpoint owning exactly two descriptors: a send
+// fd to the next rank and a receive fd from the previous one. The
+// endpoints work unchanged whether the ranks run as threads in one
+// process or as fork()ed processes (each process must close the
+// endpoints it does not own — CloseEndpoints — so peer death is
+// observable as EOF).
+//
+// All descriptors are non-blocking; sends and receives run poll()-based
+// progress loops against the backend's timeout, and SendRecv is a true
+// full-duplex loop so simultaneous large exchanges cannot deadlock on
+// kernel socket buffers. A closed or shutdown peer surfaces
+// CommStatus::kPeerDead (EOF / EPIPE / ECONNRESET); a stalled one
+// surfaces kTimeout.
+
+#ifndef GRADGCL_DISTRIBUTED_COMM_SOCKET_H_
+#define GRADGCL_DISTRIBUTED_COMM_SOCKET_H_
+
+#include <memory>
+#include <vector>
+
+#include "distributed/comm.h"
+
+namespace gradgcl {
+namespace dist {
+
+class SocketComm : public CommBackend {
+ public:
+  // Takes ownership of both descriptors.
+  SocketComm(int rank, int world_size, int send_fd, int recv_fd);
+  ~SocketComm() override;
+
+  SocketComm(const SocketComm&) = delete;
+  SocketComm& operator=(const SocketComm&) = delete;
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_; }
+  const char* name() const override { return "socket"; }
+
+  CommStatus SendNext(const void* bytes, int64_t n) override;
+  CommStatus RecvPrev(void* bytes, int64_t n) override;
+  CommStatus SendRecv(const void* send, int64_t send_n, void* recv,
+                      int64_t recv_n) override;
+
+  // Shuts down both descriptors. Adjacent ranks observe EOF
+  // immediately; non-adjacent ranks drain with kTimeout once the ring
+  // stops making progress. Safe from any thread; idempotent.
+  void Abort() override;
+
+  // Closes both descriptors without shutdown. In a fork()-per-rank
+  // setup every process must call this on the endpoints of the ranks
+  // it does NOT run, so that a dead rank's descriptors are not kept
+  // open by bystanders (which would mask EOF).
+  void CloseEndpoints();
+
+ private:
+  int rank_;
+  int world_;
+  int send_fd_;
+  int recv_fd_;
+};
+
+// Builds a connected ring of `world_size` socket endpoints in the
+// calling process; hand endpoint i to rank i's thread or child process.
+std::vector<std::unique_ptr<SocketComm>> CreateSocketRing(int world_size);
+
+}  // namespace dist
+}  // namespace gradgcl
+
+#endif  // GRADGCL_DISTRIBUTED_COMM_SOCKET_H_

@@ -1,0 +1,127 @@
+#include "distributed/ring_allreduce.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gradgcl {
+namespace dist {
+
+void TreeReduceInPlace(double** bufs, int count, int64_t n) {
+  GRADGCL_CHECK(count >= 1 && n >= 0);
+  for (int stride = 1; stride < count; stride *= 2) {
+    for (int i = 0; i + stride < count; i += 2 * stride) {
+      double* dst = bufs[i];
+      const double* src = bufs[i + stride];
+      for (int64_t k = 0; k < n; ++k) dst[k] += src[k];
+    }
+  }
+}
+
+namespace {
+
+// Chunk c of a length-`len` bucket: [Split(c), Split(c+1)). Pure
+// function of (len, world, c), shared by every rank.
+int64_t Split(int64_t len, int world, int c) {
+  return len * c / world;
+}
+
+// One bucket's all-reduce; staging buffers are caller-provided so a
+// multi-bucket sweep reuses them (rank-private arenas).
+CommStatus AllReduceBucket(CommBackend& comm, double* data, int64_t len,
+                           std::vector<double>& msg,
+                           std::vector<double>& recv_msg,
+                           std::vector<double>& send_buf) {
+  const int world = comm.world_size();
+  const int rank = comm.rank();
+
+  // --- Phase 1: collect raw contributions at each chunk's owner. ---
+  // After step s, recv_msg holds s raw blocks for chunk (rank-1-s+1) =
+  // (rank-s) mod... the blocks received at step s are for chunk
+  // (rank-1-s) mod world, in source order [rank-1, ..., rank-s].
+  msg.clear();
+  for (int s = 1; s < world; ++s) {
+    const int send_chunk = ((rank - s) % world + world) % world;
+    const int recv_chunk = ((rank - 1 - s) % world + world) % world;
+    const int64_t send_len = Split(len, world, send_chunk + 1) -
+                             Split(len, world, send_chunk);
+    const int64_t recv_len = Split(len, world, recv_chunk + 1) -
+                             Split(len, world, recv_chunk);
+    // Outgoing message: own raw block for send_chunk, then the message
+    // received last step (ranks rank-1..rank-s+1's blocks, same chunk).
+    // Tiny buckets can make chunks (and thus whole messages) empty;
+    // skip the copies rather than hand memcpy a null vector base.
+    send_buf.resize(static_cast<size_t>(s) * send_len);
+    if (send_len > 0) {
+      std::memcpy(send_buf.data(), data + Split(len, world, send_chunk),
+                  sizeof(double) * static_cast<size_t>(send_len));
+    }
+    if (s > 1 && !msg.empty()) {
+      std::memcpy(send_buf.data() + send_len, msg.data(),
+                  sizeof(double) * msg.size());
+    }
+    recv_msg.resize(static_cast<size_t>(s) * recv_len);
+    const CommStatus st = comm.SendRecv(
+        send_buf.data(), static_cast<int64_t>(send_buf.size() * 8),
+        recv_msg.data(), static_cast<int64_t>(recv_msg.size() * 8));
+    if (st != CommStatus::kOk) return st;
+    msg.swap(recv_msg);
+  }
+
+  // msg now holds world-1 raw blocks for chunk `rank`, source order
+  // [rank-1, rank-2, ..., rank+1]. Reduce all world contributions in
+  // absolute rank order with the fixed tree.
+  const int64_t own_begin = Split(len, world, rank);
+  const int64_t own_len = Split(len, world, rank + 1) - own_begin;
+  std::vector<double*> by_rank(static_cast<size_t>(world));
+  by_rank[static_cast<size_t>(rank)] = data + own_begin;
+  for (int j = 0; j < world - 1; ++j) {
+    const int src = ((rank - 1 - j) % world + world) % world;
+    by_rank[static_cast<size_t>(src)] = msg.data() + j * own_len;
+  }
+  TreeReduceInPlace(by_rank.data(), world, own_len);
+  if (own_len > 0 && by_rank[0] != data + own_begin) {
+    std::memcpy(data + own_begin, by_rank[0],
+                sizeof(double) * static_cast<size_t>(own_len));
+  }
+
+  // --- Phase 2: ring all-gather of reduced chunks. ---
+  for (int s = 1; s < world; ++s) {
+    const int send_chunk = ((rank - s + 1) % world + world) % world;
+    const int recv_chunk = ((rank - s) % world + world) % world;
+    const int64_t send_begin = Split(len, world, send_chunk);
+    const int64_t send_len = Split(len, world, send_chunk + 1) - send_begin;
+    const int64_t recv_begin = Split(len, world, recv_chunk);
+    const int64_t recv_len = Split(len, world, recv_chunk + 1) - recv_begin;
+    const CommStatus st =
+        comm.SendRecv(data + send_begin, send_len * 8, data + recv_begin,
+                      recv_len * 8);
+    if (st != CommStatus::kOk) return st;
+  }
+  return CommStatus::kOk;
+}
+
+}  // namespace
+
+CommStatus RingAllReduceSum(CommBackend& comm, double* data, int64_t n,
+                            int64_t bucket_bytes) {
+  GRADGCL_CHECK(n >= 0);
+  if (comm.world_size() == 1 || n == 0) return CommStatus::kOk;
+  const int64_t per_bucket = std::max<int64_t>(1, bucket_bytes / 8);
+  // Rank-private staging, reused across buckets.
+  std::vector<double> msg;
+  std::vector<double> recv_msg;
+  std::vector<double> send_buf;
+  for (int64_t begin = 0; begin < n; begin += per_bucket) {
+    const int64_t len = std::min(per_bucket, n - begin);
+    const CommStatus st =
+        AllReduceBucket(comm, data + begin, len, msg, recv_msg, send_buf);
+    if (st != CommStatus::kOk) return st;
+  }
+  return CommStatus::kOk;
+}
+
+}  // namespace dist
+}  // namespace gradgcl

@@ -151,6 +151,98 @@ IvfIndex IvfIndex::Build(const Matrix& corpus, const IvfConfig& config) {
   return index;
 }
 
+IvfIndex IvfIndex::BuildFromStore(const QuantizedStore& corpus,
+                                  const IvfConfig& config) {
+  GRADGCL_CHECK(corpus.is_open());
+  GRADGCL_CHECK(corpus.num_vectors() >= 1);
+  GRADGCL_CHECK(config.nlist >= 1 && config.kmeans_iters >= 0);
+  const int64_t n = corpus.num_vectors();
+  const int d = corpus.dim();
+  GRADGCL_CHECK_MSG(n <= INT32_MAX, "store too large for k-means indexing");
+  const int nlist = static_cast<int>(std::min<int64_t>(config.nlist, n));
+
+  // Decode-and-renormalize one row into `out`: the unit vector the
+  // store's cosine scans effectively compare against.
+  const auto unit_row = [&corpus, d](int64_t i, double* out) {
+    corpus.DecodeRow(i, out);
+    const double inv = corpus.inv_norm(i);
+    for (int j = 0; j < d; ++j) out[j] *= inv;
+  };
+
+  // Seeded init: same stream as Build.
+  Rng rng(config.seed);
+  const std::vector<int> init =
+      rng.SampleWithoutReplacement(static_cast<int>(n), nlist);
+  Matrix centroids(nlist, d);
+  for (int c = 0; c < nlist; ++c) {
+    unit_row(init[c], centroids.data() + static_cast<int64_t>(c) * d);
+  }
+
+  // Lloyd iterations, spherical, identical structure to Build — but
+  // each point is decoded into a worker-local row buffer on demand, so
+  // the corpus is never resident in f64. Assignment stays per-point
+  // independent (bit-identical at every thread count); accumulation is
+  // serial in ascending row order.
+  std::vector<int> assign(static_cast<size_t>(n), 0);
+  auto AssignAll = [&] {
+    ParallelFor(0, n, /*grain=*/16,
+                /*cost_per_iter=*/static_cast<int64_t>(nlist) * d,
+                [&](int64_t begin, int64_t end) {
+                  std::vector<double> row(static_cast<size_t>(d));
+                  for (int64_t i = begin; i < end; ++i) {
+                    unit_row(i, row.data());
+                    assign[i] = NearestCentroid(centroids, row.data());
+                  }
+                });
+  };
+  std::vector<double> row(static_cast<size_t>(d));
+  for (int iter = 0; iter < config.kmeans_iters; ++iter) {
+    AssignAll();
+    Matrix sums = Matrix::Zeros(nlist, d);
+    std::vector<int64_t> counts(nlist, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      unit_row(i, row.data());
+      double* sum = sums.data() + static_cast<int64_t>(assign[i]) * d;
+      for (int j = 0; j < d; ++j) sum[j] += row[j];
+      ++counts[assign[i]];
+    }
+    for (int c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // empty cell keeps its centroid
+      const double* sum = sums.data() + static_cast<int64_t>(c) * d;
+      double norm_sq = 0.0;
+      for (int j = 0; j < d; ++j) norm_sq += sum[j] * sum[j];
+      if (norm_sq <= 0.0) continue;
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      double* dst = centroids.data() + static_cast<int64_t>(c) * d;
+      for (int j = 0; j < d; ++j) dst[j] = sum[j] * inv;
+    }
+  }
+  AssignAll();
+
+  // Group rows by cell, stable in ascending row order, and copy the
+  // quantized rows verbatim — codes, inv_norms, and params all survive
+  // bit-for-bit.
+  IvfIndex index;
+  index.centroids_ = std::move(centroids);
+  index.list_offsets_.assign(nlist + 1, 0);
+  for (int64_t i = 0; i < n; ++i) ++index.list_offsets_[assign[i] + 1];
+  for (int c = 0; c < nlist; ++c) {
+    index.list_offsets_[c + 1] += index.list_offsets_[c];
+  }
+  index.ids_.resize(static_cast<size_t>(n));
+  std::vector<int64_t> cursor(index.list_offsets_.begin(),
+                              index.list_offsets_.end() - 1);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t pos = cursor[assign[i]]++;
+    index.ids_[pos] = i;
+    order[pos] = i;
+  }
+  index.store_ = QuantizedStore::GatherRows(corpus, order);
+  index.set_nprobe(config.nprobe);
+  return index;
+}
+
 void IvfIndex::set_nprobe(int nprobe) {
   nprobe_ = std::clamp(nprobe, 1, nlist());
 }

@@ -51,6 +51,18 @@ class IvfIndex {
   // Builds over `corpus` (rows = vectors; normalized internally).
   static IvfIndex Build(const Matrix& corpus, const IvfConfig& config);
 
+  // Builds over an existing (typically mmap'd) store without ever
+  // materializing an f64 corpus matrix: k-means runs on rows decoded
+  // one at a time (renormalized via the stored inv_norms), and the
+  // cell-grouped store copies quantized codes verbatim
+  // (QuantizedStore::GatherRows) — params and codes are preserved
+  // exactly, so a full probe scores bit-identically to scanning the
+  // source store directly. Peak extra memory is O(nlist * dim +
+  // num_vectors), never O(num_vectors * dim) doubles. config.tier is
+  // ignored (the store's tier wins).
+  static IvfIndex BuildFromStore(const QuantizedStore& corpus,
+                                 const IvfConfig& config);
+
   int64_t num_vectors() const { return store_.num_vectors(); }
   int dim() const { return store_.dim(); }
   int nlist() const { return centroids_.rows(); }

@@ -148,6 +148,29 @@ QuantizedStore QuantizedStore::BuildWithParams(const Matrix& corpus,
   return store;
 }
 
+QuantizedStore QuantizedStore::GatherRows(const QuantizedStore& src,
+                                          const std::vector<int64_t>& order) {
+  GRADGCL_CHECK(src.is_open());
+  QuantizedStore store;
+  store.InitLayout(src.dim_, src.tier_);
+  store.params_ = src.params_;
+  const int64_t n = static_cast<int64_t>(order.size());
+  store.num_vectors_ = n;
+  store.owned_data_.assign(static_cast<size_t>(n * store.row_stride_), 0);
+  store.owned_inv_norms_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t r = order[static_cast<size_t>(i)];
+    GRADGCL_CHECK(r >= 0 && r < src.num_vectors_);
+    std::memcpy(store.owned_data_.data() + i * store.row_stride_,
+                src.data_ + r * src.row_stride_,
+                static_cast<size_t>(store.row_stride_));
+    store.owned_inv_norms_[static_cast<size_t>(i)] = src.inv_norms_[r];
+  }
+  store.data_ = store.owned_data_.data();
+  store.inv_norms_ = store.owned_inv_norms_.data();
+  return store;
+}
+
 bool QuantizedStore::ValidateAndAdopt(const unsigned char* base, int64_t size) {
   // Every field is checked in int64 arithmetic against the real file
   // extent before any allocation or out-of-header dereference.

@@ -93,6 +93,13 @@ class QuantizedStore {
                                         const QuantizationParams& params,
                                         Tier tier);
 
+  // Builds an owned store holding rows order[0..k) of `src`, in that
+  // order, copying quantized codes and inv_norms verbatim (params
+  // preserved, nothing re-quantized, no f64 rows materialized). This
+  // is how IvfIndex::BuildFromStore groups an mmap'd corpus by cell.
+  static QuantizedStore GatherRows(const QuantizedStore& src,
+                                   const std::vector<int64_t>& order);
+
   // Maps `path` read-only (zero-copy scans; the page cache owns the
   // bytes). Returns false on I/O error or any structural corruption.
   bool Map(const std::string& path);

@@ -72,6 +72,20 @@ Adam::Adam(std::vector<Variable> params, double lr, double beta1, double beta2,
   }
 }
 
+void Adam::RestoreState(std::vector<Matrix> m, std::vector<Matrix> v, int t) {
+  GRADGCL_CHECK(t >= 0);
+  GRADGCL_CHECK(m.size() == params_.size() && v.size() == params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    GRADGCL_CHECK(m[k].rows() == params_[k].rows() &&
+                  m[k].cols() == params_[k].cols());
+    GRADGCL_CHECK(v[k].rows() == params_[k].rows() &&
+                  v[k].cols() == params_[k].cols());
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
+}
+
 void Adam::Step() {
   ++t_;
   // The per-element update runs on the active SIMD table; the kernel is

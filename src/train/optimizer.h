@@ -62,6 +62,19 @@ class Adam : public Optimizer {
   void set_lr(double lr) override { lr_ = lr; }
   double lr() const override { return lr_; }
 
+  // --- State access for checkpoint/resume (src/distributed/) --------------
+  //
+  // The moment estimates and step count are the optimiser's complete
+  // mutable state: restoring them into a fresh Adam over the same
+  // parameters continues the trajectory bit-exactly.
+  int step_count() const { return t_; }
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+
+  // Restores moments + step count. Shapes must match the parameters
+  // this optimiser was built over.
+  void RestoreState(std::vector<Matrix> m, std::vector<Matrix> v, int t);
+
  private:
   double lr_;
   double beta1_;

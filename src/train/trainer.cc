@@ -42,6 +42,27 @@ std::vector<std::vector<int>> MakeMiniBatches(int n, int batch_size,
   return batches;
 }
 
+namespace {
+
+// SplitMix64 finalizer (same constants as common/rng.cc's seeder).
+uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t BatchStreamSeed(uint64_t seed, int64_t epoch, int64_t batch) {
+  // Fold each coordinate through a full avalanche round so adjacent
+  // (epoch, batch) pairs land in statistically unrelated streams.
+  uint64_t x = Mix64(seed);
+  x = Mix64(x ^ static_cast<uint64_t>(epoch));
+  x = Mix64(x ^ static_cast<uint64_t>(batch));
+  return x;
+}
+
 std::vector<EpochStats> TrainGraphSsl(
     GraphSslModel& model, const std::vector<Graph>& dataset,
     const TrainOptions& options,
@@ -62,18 +83,24 @@ std::vector<EpochStats> TrainGraphSsl(
     Stopwatch watch;
     double epoch_loss = 0.0;
     int steps = 0;
-    for (const std::vector<int>& batch : MakeMiniBatches(
-             static_cast<int>(dataset.size()), options.batch_size, rng)) {
+    const std::vector<std::vector<int>> plan = MakeMiniBatches(
+        static_cast<int>(dataset.size()), options.batch_size, rng);
+    for (size_t b = 0; b < plan.size(); ++b) {
       obs::TraceScope step_span("train/step");
       Stopwatch step_watch;
       monitor.BeginStep(obs::StepContext{global_step, epoch});
+      // Each batch gets its own derived Rng stream (see BatchStreamSeed)
+      // so the distributed trainer can reproduce this loop with batches
+      // spread across ranks.
+      Rng batch_rng(BatchStreamSeed(options.seed, epoch,
+                                    static_cast<int64_t>(b)));
       // Step-scoped pooling: every Matrix the forward/backward pass
       // allocates inside this scope recycles through the MatrixPool.
       // Parameters and optimizer state were created outside any scope
       // and stay heap-backed (tensor/pool.h).
       TapeScope tape;
       optimizer.ZeroGrad();
-      Variable loss = model.BatchLoss(dataset, batch, rng);
+      Variable loss = model.BatchLoss(dataset, plan[b], batch_rng);
       Backward(loss);
       const double loss_value = loss.scalar();
       const double grad_norm =
@@ -125,8 +152,8 @@ std::vector<EpochStats> TrainGraphSslStreamed(
     Stopwatch watch;
     double epoch_loss = 0.0;
     int steps = 0;
-    // Identical Rng consumption to TrainGraphSsl: the plan is the same
-    // shuffled index stream the in-RAM loop would walk.
+    // Identical plan-Rng consumption to TrainGraphSsl: the plan is the
+    // same shuffled index stream the in-RAM loop would walk.
     const std::vector<std::vector<int>> plan = MakeMiniBatches(
         static_cast<int>(n), options.batch_size, rng);
     source.BeginEpoch(plan);
@@ -138,9 +165,12 @@ std::vector<EpochStats> TrainGraphSslStreamed(
       iota.resize(gathered.size());
       for (size_t k = 0; k < iota.size(); ++k) iota[k] = static_cast<int>(k);
       monitor.BeginStep(obs::StepContext{global_step, epoch});
+      // Same per-batch stream derivation as TrainGraphSsl.
+      Rng batch_rng(BatchStreamSeed(options.seed, epoch,
+                                    static_cast<int64_t>(b)));
       TapeScope tape;  // step-scoped pooling, as in TrainGraphSsl
       optimizer.ZeroGrad();
-      Variable loss = model.BatchLoss(gathered, iota, rng);
+      Variable loss = model.BatchLoss(gathered, iota, batch_rng);
       Backward(loss);
       const double loss_value = loss.scalar();
       const double grad_norm =

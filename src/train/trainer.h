@@ -105,9 +105,9 @@ class GraphBatchSource {
   virtual bool NextBatch(std::vector<Graph>* graphs) = 0;
 };
 
-// Streaming twin of TrainGraphSsl: same optimiser, same Rng stream,
-// same batch plan — only the graphs arrive through `source` instead of
-// a resident vector. With a gather-invariant model (see
+// Streaming twin of TrainGraphSsl: same optimiser, same batch plan,
+// same per-batch Rng streams — only the graphs arrive through `source`
+// instead of a resident vector. With a gather-invariant model (see
 // GraphSslModel::BatchLoss) and a source that reproduces the dataset's
 // graphs bit-for-bit, the loss trajectory is bit-identical to
 // TrainGraphSsl on the same seed, regardless of the source's reader
@@ -127,6 +127,19 @@ std::vector<EpochStats> TrainNodeSsl(
 // smaller, but never smaller than 2 — singleton batches are folded
 // into the previous one since contrastive losses need negatives).
 std::vector<std::vector<int>> MakeMiniBatches(int n, int batch_size, Rng& rng);
+
+// Seed of the per-batch Rng stream: a pure function of (run seed,
+// epoch, batch index within the epoch's plan). Both graph trainers
+// drive batch b of epoch e with Rng(BatchStreamSeed(seed, e, b)) —
+// rather than one sequential stream — so any consumer that knows the
+// plan can reproduce an arbitrary batch's randomness without replaying
+// the batches before it. This is what lets the data-parallel trainer
+// (src/distributed/) evaluate disjoint batches on different ranks
+// bit-identically to this loop: no rank needs to know how much
+// randomness the others consumed. SplitMix64-style avalanche mixing;
+// the run-level Rng(seed) still drives MakeMiniBatches, so plans are
+// unchanged by construction.
+uint64_t BatchStreamSeed(uint64_t seed, int64_t epoch, int64_t batch);
 
 }  // namespace gradgcl
 

@@ -422,6 +422,57 @@ TEST(IvfIndexTest, FullProbeReproducesFlatInt8ScanExactly) {
   }
 }
 
+TEST(IvfIndexTest, BuildFromMappedStoreFullProbeMatchesSourceScanExactly) {
+  ThreadGuard guard;
+  // An on-disk store is the ground truth: BuildFromStore must regroup
+  // its rows without re-quantizing, so a full probe scores exactly
+  // what a flat scan of the source store scores.
+  const Matrix corpus = ClusteredCorpus(400, 12, 8, 38);
+  const std::string path = TestPath("ivf_from_store.ggqs");
+  ASSERT_TRUE(QuantizedStore::Build(RowNormalize(corpus), Tier::kInt8)
+                  .Save(path));
+  QuantizedStore mapped;
+  ASSERT_TRUE(mapped.Map(path));
+
+  IvfConfig config;
+  config.nlist = 8;
+  config.nprobe = 8;  // probe everything
+  SetNumThreads(1);
+  const IvfIndex ivf = IvfIndex::BuildFromStore(mapped, config);
+  EXPECT_EQ(ivf.num_vectors(), mapped.num_vectors());
+  EXPECT_EQ(ivf.tier(), Tier::kInt8);
+  // Quantization params are preserved verbatim — nothing re-encoded.
+  EXPECT_EQ(ivf.store().params().scale, mapped.params().scale);
+  EXPECT_EQ(ivf.store().params().offset, mapped.params().offset);
+
+  QuantizedStore source;
+  ASSERT_TRUE(source.Map(path));
+  const FlatIndex flat = FlatIndex::FromStore(std::move(source));
+  Rng rng(39);
+  const Matrix queries = Matrix::RandomNormal(25, 12, rng);
+  for (int q = 0; q < queries.rows(); ++q) {
+    const auto a = ivf.Search(queries.data() + q * 12, 15);
+    const auto b = flat.Search(queries.data() + q * 12, 15);
+    ExpectSameNeighbors(a, b, "from-store full probe vs source scan");
+  }
+
+  // The one-row-at-a-time k-means is bit-identical at every thread
+  // count, like the in-RAM Build.
+  for (const int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    const IvfIndex other = IvfIndex::BuildFromStore(mapped, config);
+    ASSERT_EQ(other.nlist(), ivf.nlist()) << threads;
+    for (int c = 0; c < ivf.nlist(); ++c) {
+      for (int j = 0; j < ivf.dim(); ++j) {
+        EXPECT_EQ(other.centroids()(c, j), ivf.centroids()(c, j))
+            << "threads=" << threads << " centroid " << c << " dim " << j;
+      }
+    }
+    EXPECT_EQ(other.list_offsets(), ivf.list_offsets()) << threads;
+    EXPECT_EQ(other.ids(), ivf.ids()) << threads;
+  }
+}
+
 TEST(IvfIndexTest, WiderProbeNeverLowersRecallAndQuantizationIsTight) {
   const Matrix corpus = ClusteredCorpus(400, 16, 8, 36);
   IvfConfig config;
